@@ -1,0 +1,77 @@
+"""EXP-K — kernel microbenchmarks on the host.
+
+Times the primitives everything else is built from: the E-step, the
+M-step, the packed-statistics reduction payloads, and each Allreduce
+algorithm over the thread world.  These are host-time benchmarks (no
+simulator): they are what the CPU calibration is anchored on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synth import make_paper_database
+from repro.engine.init import initial_classification
+from repro.engine.params import local_update_parameters
+from repro.engine.wts import local_update_wts, update_wts
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.mpc.api import CollectiveConfig
+from repro.mpc.threadworld import run_spmd_threads
+from repro.util.rng import spawn_rng
+
+N_ITEMS = 10_000
+N_CLASSES = 8
+
+
+@pytest.fixture(scope="module")
+def state():
+    db = make_paper_database(N_ITEMS, seed=0)
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    clf = initial_classification(db, spec, N_CLASSES, spawn_rng(0))
+    wts, _ = update_wts(db, clf)
+    return db, spec, clf, wts
+
+
+def test_update_wts_kernel(state, benchmark):
+    db, _spec, clf, _wts = state
+    benchmark(local_update_wts, db, clf)
+    benchmark.extra_info["items_x_classes"] = N_ITEMS * N_CLASSES
+
+
+def test_update_parameters_kernel(state, benchmark):
+    db, spec, _clf, wts = state
+    benchmark(local_update_parameters, db, spec, wts)
+
+
+def test_approximations_kernel(state, benchmark):
+    from repro.engine.approx import update_approximations
+    from repro.engine.wts import finalize_wts
+
+    db, spec, clf, wts = state
+    _, payload = local_update_wts(db, clf)
+    red = finalize_wts(payload, clf.n_classes)
+    stats = local_update_parameters(db, spec, wts)
+    benchmark(update_approximations, clf, stats, red, db.n_items)
+
+
+@pytest.mark.parametrize("algo", ["recursive_doubling", "ring", "reduce_bcast"])
+def test_allreduce_threadworld(algo, benchmark):
+    payload_len = N_CLASSES * 6  # the paper workload's packed stats
+
+    def world():
+        def prog(comm):
+            return comm.allreduce(np.ones(payload_len))
+
+        return run_spmd_threads(
+            prog, 4, collectives=CollectiveConfig(allreduce=algo)
+        )
+
+    results = benchmark(world)
+    np.testing.assert_allclose(results[0], 4.0)
+
+
+def test_seeded_init_kernel(state, benchmark):
+    db, spec, _clf, _wts = state
+    benchmark(
+        initial_classification, db, spec, N_CLASSES, spawn_rng(1), "seeded"
+    )

@@ -1,0 +1,46 @@
+"""EXP-T1 — §3.1 text claim: base_cycle is ~99.5 % of the runtime.
+
+Profiles the real sequential engine (host timings — this claim is about
+the algorithm's structure, not the CS-2) and benchmarks one base_cycle.
+"""
+
+import pytest
+
+from repro.data.synth import make_paper_database
+from repro.engine.cycle import base_cycle
+from repro.engine.init import initial_classification
+from repro.harness.runner import t1_profile
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def t1(record):
+    result = t1_profile()
+    record("t1_profile", result.render())
+    return result
+
+
+def test_t1_base_cycle_dominates(t1, benchmark):
+    # Paper: base_cycle ~ 99.5 % of total; we assert the dominance with
+    # slack for Python per-try init overhead (the paper's tries ran
+    # hundreds of cycles; see EXPERIMENTS.md).
+    assert t1.cycle_fraction > 0.93
+    # Paper (after [7]): update_wts and update_parameters dominate,
+    # update_approximations is negligible.
+    assert t1.wts_seconds > t1.params_seconds
+    assert t1.approx_fraction_of_cycle < 0.1
+
+    db = make_paper_database(10_000, seed=0)
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    clf = initial_classification(db, spec, 8, spawn_rng(0))
+    clf, _, _ = base_cycle(db, clf)  # warm-up
+
+    state = {"clf": clf}
+
+    def one_cycle():
+        state["clf"], _, _ = base_cycle(db, state["clf"])
+
+    benchmark(one_cycle)
+    benchmark.extra_info["base_cycle_fraction"] = round(t1.cycle_fraction, 4)

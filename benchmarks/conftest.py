@@ -1,0 +1,41 @@
+"""Benchmark suite configuration.
+
+Every figure/claim of the paper has one ``bench_*`` file.  Each bench
+
+1. regenerates its experiment once (at the scale given by
+   ``REPRO_BENCH_SCALE``; default 0.04, ``1.0`` = the paper's full
+   parameters),
+2. writes the paper-style rendered rows/series to
+   ``benchmarks/out/<experiment>.txt`` and prints them, and
+3. times a representative unit of the experiment through
+   pytest-benchmark so ``--benchmark-only`` produces comparable rows.
+
+Run: ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import ExperimentScale
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write an experiment's rendered output to benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, rendered: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+        print(f"\n{rendered}\n")
+
+    return _record

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Protein-family discovery — AutoClass on discrete data with missing values.
+
+The paper's other motivating job: "the analysis of protein sequences
+... required from 300 to 400 hours" (Hunter & States' Bayesian
+classification of protein structure).  Their dataset is not public;
+this example synthesizes the same *kind* of problem — residue-derived
+categorical features over protein segments, with missing measurements —
+and exercises the parts of the system the real job used:
+
+* ``single_multinomial`` terms (with AutoClass's "missing is an extra
+  attribute value" convention);
+* a user-written model spec (mixing discrete and real terms);
+* influence values to see which features define each discovered family.
+
+Run: ``python examples/protein_classes.py``
+"""
+
+import numpy as np
+
+from repro import AutoClass, parse_model_spec
+from repro.data import AttributeSet, Database, DiscreteAttribute, RealAttribute
+from repro.models import DataSummary
+
+#: Categorical feature alphabets for protein segments.
+SECONDARY = ("helix", "sheet", "coil", "turn")
+HYDROPATHY = ("hydrophobic", "neutral", "hydrophilic")
+CHARGE = ("negative", "none", "positive")
+
+#: Hidden families: (secondary-structure bias, hydropathy bias, charge
+#: bias, mean segment length, mean exposure).
+FAMILIES = {
+    "globin-like": ((0.75, 0.05, 0.15, 0.05), (0.55, 0.3, 0.15), (0.2, 0.6, 0.2), 18.0, 0.35),
+    "beta-barrel": ((0.05, 0.7, 0.15, 0.10), (0.6, 0.25, 0.15), (0.15, 0.7, 0.15), 10.0, 0.25),
+    "disordered": ((0.05, 0.05, 0.65, 0.25), (0.15, 0.3, 0.55), (0.35, 0.3, 0.35), 7.0, 0.7),
+}
+
+
+def make_proteins(n: int, seed: int, missing_rate: float = 0.08):
+    rng = np.random.default_rng(seed)
+    names = list(FAMILIES)
+    labels = rng.integers(0, len(names), size=n)
+    sec = np.empty(n, dtype=np.int64)
+    hyd = np.empty(n, dtype=np.int64)
+    chg = np.empty(n, dtype=np.int64)
+    length = np.empty(n)
+    exposure = np.empty(n)
+    for k, name in enumerate(names):
+        p_sec, p_hyd, p_chg, mean_len, mean_exp = FAMILIES[name]
+        mask = labels == k
+        m = int(mask.sum())
+        sec[mask] = rng.choice(len(SECONDARY), size=m, p=p_sec)
+        hyd[mask] = rng.choice(len(HYDROPATHY), size=m, p=p_hyd)
+        chg[mask] = rng.choice(len(CHARGE), size=m, p=p_chg)
+        length[mask] = rng.gamma(shape=4, scale=mean_len / 4, size=m)
+        exposure[mask] = np.clip(rng.normal(mean_exp, 0.12, size=m), 0, 1)
+    # Experimental gaps: some measurements are simply absent.
+    sec[rng.random(n) < missing_rate] = -1
+    exposure_missing = rng.random(n) < missing_rate
+    exposure[exposure_missing] = np.nan
+
+    schema = AttributeSet((
+        DiscreteAttribute("secondary", arity=len(SECONDARY), symbols=SECONDARY),
+        DiscreteAttribute("hydropathy", arity=len(HYDROPATHY), symbols=HYDROPATHY),
+        DiscreteAttribute("charge", arity=len(CHARGE), symbols=CHARGE),
+        RealAttribute("seg_length", error=0.5),
+        RealAttribute("exposure", error=0.01),
+    ))
+    db = Database.from_columns(schema, [sec, hyd, chg, length, exposure])
+    return db, labels, names
+
+
+def main() -> None:
+    db, truth, names = make_proteins(6_000, seed=21)
+    print(db.describe(), end="\n\n")
+
+    # A hand-written model spec, AutoClass .model-file style.  The
+    # ``exposure`` attribute has missing values, so it takes the
+    # single_normal_cm (missing-aware) model.
+    summary = DataSummary.from_database(db)
+    spec = parse_model_spec(
+        """
+        ; protein segment model
+        single_multinomial secondary
+        single_multinomial hydropathy
+        single_multinomial charge
+        single_normal_cn seg_length
+        single_normal_cm exposure
+        """,
+        db.schema,
+        summary,
+    )
+    print(spec.describe(), end="\n\n")
+
+    ac = AutoClass(spec=spec, start_j_list=(2, 3, 5), max_n_tries=3, seed=9)
+    result = ac.fit(db)
+    print(result.summary(), end="\n\n")
+    print(ac.report(), end="\n\n")
+
+    # How well do the discovered classes align with the hidden families?
+    hard = ac.predict(db)
+    print("confusion (rows = discovered class, cols = hidden family):")
+    print("        " + "  ".join(f"{n:>12}" for n in names))
+    for j in np.unique(hard):
+        counts = [int(np.sum((hard == j) & (truth == k))) for k in range(len(names))]
+        print(f"class {j}  " + "  ".join(f"{c:>12}" for c in counts))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — P-AutoClass: scalable parallel Bayesian clustering.
+
+A full reproduction of *"Scalable Parallel Clustering for Data Mining
+on Multicomputers"* (Foti, Lipari, Pizzuti & Talia, IPPS 2000):
+AutoClass-style Bayesian unsupervised classification, its SPMD
+parallelization over an MPI-shaped message-passing layer, and a
+virtual-time multicomputer that reproduces the paper's Meiko CS-2
+experiments.
+
+Quick start::
+
+    from repro import AutoClass, PAutoClass, make_paper_database
+
+    db = make_paper_database(5_000, seed=0)
+    ac = AutoClass(start_j_list=(2, 4, 8), max_n_tries=3, seed=7)
+    ac.fit(db)
+    print(ac.report())
+
+    pac = PAutoClass(n_processors=8, backend="sim",
+                     start_j_list=(2, 4, 8), max_n_tries=3, seed=7)
+    run = pac.fit(db)          # identical classification...
+    print(run.sim_elapsed)     # ...plus its time on the simulated CS-2
+
+Package map (details in DESIGN.md):
+
+========================  ==================================================
+``repro.data``            databases, schemas, synthesis, ``.hd2/.db2`` I/O
+``repro.models``          attribute probability models (AutoClass terms)
+``repro.engine``          sequential AutoClass (BIG_LOOP / base_cycle)
+``repro.mpc``             message-passing library (MPI-shaped)
+``repro.simnet``          virtual-time multicomputer (Meiko CS-2 model)
+``repro.parallel``        P-AutoClass — the paper's contribution
+``repro.harness``         experiment runners for every figure/claim
+========================  ==================================================
+"""
+
+from repro.api import AutoClass, PAutoClass, PAutoClassRun
+from repro.data import (
+    AttributeSet,
+    Database,
+    DiscreteAttribute,
+    RealAttribute,
+    make_mixed_database,
+    make_paper_database,
+    make_separable_blobs,
+)
+from repro.engine import SearchConfig, SearchResult
+from repro.models import ModelSpec, parse_model_spec
+from repro.util.metrics import adjusted_rand_index, confusion_matrix, purity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSet",
+    "AutoClass",
+    "Database",
+    "DiscreteAttribute",
+    "ModelSpec",
+    "PAutoClass",
+    "PAutoClassRun",
+    "RealAttribute",
+    "SearchConfig",
+    "SearchResult",
+    "__version__",
+    "adjusted_rand_index",
+    "confusion_matrix",
+    "make_mixed_database",
+    "make_paper_database",
+    "make_separable_blobs",
+    "parse_model_spec",
+    "purity",
+]

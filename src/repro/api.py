@@ -1,0 +1,221 @@
+"""High-level user-facing API.
+
+Wraps the engine and the parallel driver behind two small classes:
+
+* :class:`AutoClass` — sequential Bayesian classification of a
+  :class:`~repro.data.Database` (fit / predict / report);
+* :class:`PAutoClass` — the same interface, executed SPMD on a chosen
+  backend: ``"serial"``, ``"threads"``, ``"processes"``, or ``"sim"``
+  (the virtual-time CS-2 — also returns the simulated timing).
+
+Both produce identical classifications (a tested invariant); the choice
+is about *how* the work runs, which is the paper's whole point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.engine.classification import Classification
+from repro.engine.report import classification_report, membership
+from repro.engine.search import SearchConfig, SearchResult, run_search
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.mpc.api import CollectiveConfig
+from repro.mpc.procworld import run_spmd_processes
+from repro.mpc.serial import SerialComm
+from repro.mpc.threadworld import run_spmd_threads
+from repro.parallel.driver import run_pautoclass
+
+BACKENDS = ("serial", "threads", "processes", "sim")
+
+
+class AutoClass:
+    """Sequential AutoClass: Bayesian unsupervised classification.
+
+    Example::
+
+        from repro import AutoClass, make_paper_database
+        db = make_paper_database(5000, seed=0)
+        ac = AutoClass(start_j_list=(2, 4, 8), max_n_tries=3, seed=7)
+        result = ac.fit(db)
+        print(ac.report())
+        labels = ac.predict(db)
+    """
+
+    def __init__(self, spec: ModelSpec | None = None, **config) -> None:
+        self.spec = spec
+        self.config = SearchConfig(**config)
+        self.result_: SearchResult | None = None
+        self._db: Database | None = None
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, db: Database) -> SearchResult:
+        """Run the BIG_LOOP search; returns (and stores) the result."""
+        self.result_ = run_search(db, self.config, self.spec)
+        self._db = db
+        return self.result_
+
+    @property
+    def best_(self) -> Classification:
+        """The best classification found by :meth:`fit`."""
+        if self.result_ is None:
+            raise RuntimeError("call fit() first")
+        return self.result_.best.classification
+
+    # -- inference --------------------------------------------------------
+
+    def predict_proba(self, db: Database) -> np.ndarray:
+        """``(n_items, n_classes)`` class membership probabilities."""
+        wts, _ = membership(db, self.best_)
+        return wts
+
+    def predict(self, db: Database) -> np.ndarray:
+        """Hard class assignment (argmax of the membership weights)."""
+        _, hard = membership(db, self.best_)
+        return hard
+
+    def report(self) -> str:
+        """AutoClass-style report of the best classification."""
+        if self._db is None:
+            raise RuntimeError("call fit() first")
+        return classification_report(self._db, self.best_)
+
+
+@dataclass(frozen=True)
+class PAutoClassRun:
+    """Result of a parallel fit: the search result plus run metadata."""
+
+    result: SearchResult
+    backend: str
+    n_processors: int
+    #: Simulated elapsed seconds (``"sim"`` backend only, else None).
+    sim_elapsed: float | None = None
+    #: Rendered virtual-time schedule (``"sim"`` backend with
+    #: ``trace=True`` only).
+    timeline: str | None = None
+
+
+class PAutoClass:
+    """P-AutoClass: the same classification, executed SPMD.
+
+    Example::
+
+        from repro import PAutoClass, make_paper_database
+        db = make_paper_database(5000, seed=0)
+        pac = PAutoClass(n_processors=8, backend="sim",
+                         start_j_list=(2, 4, 8), max_n_tries=3, seed=7)
+        run = pac.fit(db)
+        print(run.sim_elapsed, "simulated seconds on", run.n_processors, "procs")
+    """
+
+    def __init__(
+        self,
+        n_processors: int = 4,
+        backend: str = "threads",
+        spec: ModelSpec | None = None,
+        collectives: CollectiveConfig | None = None,
+        trace: bool = False,
+        **config,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend {backend!r} not in {BACKENDS}")
+        if n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+        if trace and backend != "sim":
+            raise ValueError("trace=True needs the 'sim' backend")
+        self.n_processors = n_processors
+        self.backend = backend
+        self.spec = spec
+        self.collectives = collectives
+        self.trace = trace
+        self.config = SearchConfig(**config)
+        self.run_: PAutoClassRun | None = None
+        self._db: Database | None = None
+
+    def fit(self, db: Database) -> PAutoClassRun:
+        """Run the SPMD search on the configured backend."""
+        spec = self.spec or ModelSpec.default_for(
+            db.schema, DataSummary.from_database(db)
+        )
+        sim_elapsed: float | None = None
+        timeline: str | None = None
+        if self.backend == "serial":
+            if self.n_processors != 1:
+                raise ValueError("serial backend supports exactly 1 processor")
+            result = run_pautoclass(
+                SerialComm(self.collectives), db, self.config, spec
+            )
+        elif self.backend == "threads":
+            results = run_spmd_threads(
+                run_pautoclass,
+                self.n_processors,
+                db,
+                self.config,
+                spec,
+                collectives=self.collectives,
+            )
+            result = results[0]
+        elif self.backend == "processes":
+            results = run_spmd_processes(
+                run_pautoclass,
+                self.n_processors,
+                db,
+                self.config,
+                spec,
+                collectives=self.collectives,
+            )
+            result = results[0]
+        else:  # sim
+            from repro.harness.runner import calibrated_machine
+            from repro.simnet.simworld import run_spmd_sim
+            from repro.simnet.trace import Tracer, render_timeline
+
+            tracer = Tracer() if self.trace else None
+            sim = run_spmd_sim(
+                run_pautoclass,
+                self.n_processors,
+                calibrated_machine(self.n_processors),
+                db,
+                self.config,
+                spec,
+                collectives=self.collectives,
+                compute_mode="counted",
+                tracer=tracer,
+            )
+            result = sim.results[0]
+            sim_elapsed = sim.elapsed
+            if tracer is not None:
+                timeline = tracer.summary() + "\n" + render_timeline(tracer)
+        self.run_ = PAutoClassRun(
+            result=result,
+            backend=self.backend,
+            n_processors=self.n_processors,
+            sim_elapsed=sim_elapsed,
+            timeline=timeline,
+        )
+        self._db = db
+        return self.run_
+
+    @property
+    def best_(self) -> Classification:
+        if self.run_ is None:
+            raise RuntimeError("call fit() first")
+        return self.run_.result.best.classification
+
+    def predict_proba(self, db: Database) -> np.ndarray:
+        wts, _ = membership(db, self.best_)
+        return wts
+
+    def predict(self, db: Database) -> np.ndarray:
+        _, hard = membership(db, self.best_)
+        return hard
+
+    def report(self) -> str:
+        if self._db is None:
+            raise RuntimeError("call fit() first")
+        return classification_report(self._db, self.best_)

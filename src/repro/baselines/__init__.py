@@ -1,0 +1,19 @@
+"""Baseline clustering algorithms for comparison with P-AutoClass.
+
+The paper's related work (§5 / references [4, 5, 10]) situates
+P-AutoClass among other SPMD clustering parallelizations — notably
+parallel k-means (Stoffel & Belkoniene, Euro-Par '99), which uses the
+very same pattern: partition items, compute local statistics, Allreduce
+class aggregates, replicate the update.  This package implements that
+baseline over the same :class:`~repro.mpc.api.Communicator` layer, so
+the cost structures are directly comparable on the simulated machine
+(benchmark EXP-B1).
+"""
+
+from repro.baselines.kmeans import (
+    KMeansResult,
+    kmeans,
+    parallel_kmeans,
+)
+
+__all__ = ["KMeansResult", "kmeans", "parallel_kmeans"]

@@ -1,0 +1,300 @@
+"""``pautoclass`` — command-line interface.
+
+Subcommands:
+
+* ``run`` — classify a ``.hd2``/``.db2`` database (or a synthetic one)
+  sequentially or on a parallel backend, and print the report;
+* ``predict`` — classify a database with a previously stored results
+  file (no refitting);
+* ``experiments`` — regenerate the paper's figures/claims;
+* ``synth`` — write a synthetic database to disk.
+
+Examples::
+
+    pautoclass synth --items 5000 --out /tmp/demo
+    pautoclass run --data /tmp/demo --j-list 2,4,8 --seed 7
+    pautoclass run --synthetic 5000 --backend sim --procs 8
+    pautoclass experiments --which fig7 --scale 0.04
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import BACKENDS, AutoClass, PAutoClass
+from repro.data.io import load_database, save_database
+from repro.data.synth import make_paper_database
+
+
+def _parse_j_list(text: str) -> tuple[int, ...]:
+    try:
+        values = tuple(int(tok) for tok in text.split(",") if tok.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad J list: {text!r}") from None
+    if not values:
+        raise argparse.ArgumentTypeError("J list must not be empty")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pautoclass",
+        description="P-AutoClass: scalable parallel Bayesian clustering",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="classify a database")
+    src = p_run.add_mutually_exclusive_group(required=True)
+    src.add_argument("--data", help="basename of a .hd2/.db2 pair")
+    src.add_argument(
+        "--synthetic", type=int, metavar="N",
+        help="use a synthetic paper-style database of N tuples",
+    )
+    p_run.add_argument(
+        "--j-list", type=_parse_j_list, default=(2, 4, 8),
+        help="comma-separated class counts to try (default 2,4,8)",
+    )
+    p_run.add_argument("--tries", type=int, default=None,
+                       help="number of tries (default: length of --j-list)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--max-cycles", type=int, default=200)
+    p_run.add_argument(
+        "--backend", choices=("sequential",) + BACKENDS, default="sequential"
+    )
+    p_run.add_argument("--procs", type=int, default=4,
+                       help="processors for parallel backends (default 4)")
+    p_run.add_argument(
+        "--model-search", action="store_true",
+        help="also search over model forms (independent vs correlated "
+             "real attributes); sequential backend only",
+    )
+    p_run.add_argument(
+        "--save-results", metavar="PATH",
+        help="write the search result as a JSON results file",
+    )
+    p_run.add_argument(
+        "--trace", action="store_true",
+        help="print the virtual-time schedule (sim backend only)",
+    )
+    p_run.add_argument(
+        "--report-out", metavar="PATH",
+        help="write the detailed per-class report (AutoClass .rlog style)",
+    )
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper results")
+    p_exp.add_argument(
+        "--which",
+        choices=(
+            "fig6", "fig7", "fig8", "t1", "t2",
+            "a1", "a2", "a3", "a4", "a5", "b1", "all",
+        ),
+        default="all",
+    )
+    p_exp.add_argument("--scale", type=float, default=None,
+                       help="workload scale factor (default from env or 0.04)")
+
+    p_pred = sub.add_parser(
+        "predict", help="classify a database with a stored results file"
+    )
+    p_pred.add_argument("--results", required=True,
+                        help="results JSON written by run --save-results")
+    p_pred.add_argument("--data", required=True,
+                        help="basename of a .hd2/.db2 pair to classify")
+    p_pred.add_argument("--out", default=None,
+                        help="write assignments as CSV (default: stdout)")
+    p_pred.add_argument(
+        "--proba", action="store_true",
+        help="include per-class membership probabilities",
+    )
+
+    p_synth = sub.add_parser("synth", help="write a synthetic database")
+    p_synth.add_argument("--items", type=int, required=True)
+    p_synth.add_argument("--clusters", type=int, default=8)
+    p_synth.add_argument("--seed", type=int, default=0)
+    p_synth.add_argument("--out", required=True,
+                         help="output basename (.hd2/.db2 appended)")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.data:
+        db = load_database(args.data)
+    else:
+        db = make_paper_database(args.synthetic, seed=args.seed)
+    config = dict(
+        start_j_list=args.j_list,
+        max_n_tries=args.tries or len(args.j_list),
+        seed=args.seed,
+        max_cycles=args.max_cycles,
+    )
+    if args.backend == "sequential":
+        if args.model_search:
+            from repro.engine.modelsearch import run_model_search
+            from repro.engine.search import SearchConfig
+
+            ms = run_model_search(db, SearchConfig(**config))
+            print(ms.summary())
+            print()
+            result = ms.best.search
+            print(result.summary())
+            if args.save_results:
+                _save(result, db, args.save_results)
+            return 0
+        ac = AutoClass(**config)
+        result = ac.fit(db)
+        print(result.summary())
+        print()
+        print(ac.report())
+        if args.report_out:
+            _write_rlog(db, result, args.report_out)
+        if args.save_results:
+            _save(result, db, args.save_results)
+    else:
+        procs = 1 if args.backend == "serial" else args.procs
+        pac = PAutoClass(
+            n_processors=procs, backend=args.backend, trace=args.trace,
+            **config,
+        )
+        run = pac.fit(db)
+        print(run.result.summary())
+        print()
+        print(pac.report())
+        if run.sim_elapsed is not None:
+            print(
+                f"\nsimulated elapsed on {run.n_processors}-processor CS-2: "
+                f"{run.sim_elapsed:.3f} s"
+            )
+        if run.timeline is not None:
+            print()
+            print(run.timeline)
+        if args.report_out:
+            _write_rlog(db, run.result, args.report_out)
+        if args.save_results:
+            _save(run.result, db, args.save_results)
+    return 0
+
+
+def _write_rlog(db, result, path: str) -> None:
+    from repro.engine.rlog import write_report
+
+    write_report(db, result.best.classification, path)
+    print(f"\ndetailed report written to {path}")
+
+
+def _save(result, db, path: str) -> None:
+    from repro.engine.results_io import save_search_result
+    from repro.models.summary import DataSummary
+
+    save_search_result(result, DataSummary.from_database(db), path)
+    print(f"\nresults written to {path}")
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        ExperimentScale,
+        ablation_collectives,
+        ablation_comm_share,
+        ablation_granularity,
+        ablation_topology,
+        ablation_variants,
+        baseline_kmeans_comparison,
+        fig6_elapsed,
+        fig7_speedup,
+        fig8_scaleup,
+        t1_profile,
+        t2_linear_sequential,
+    )
+
+    scale = (
+        ExperimentScale(args.scale) if args.scale else ExperimentScale.from_env()
+    )
+    which = args.which
+    fig6 = None
+    if which in ("fig6", "fig7", "t2", "all"):
+        fig6 = fig6_elapsed(scale)
+    if which in ("fig6", "all"):
+        print(fig6.render(), end="\n\n")
+    if which in ("fig7", "all"):
+        print(fig7_speedup(fig6=fig6).render(), end="\n\n")
+    if which in ("fig8", "all"):
+        print(fig8_scaleup(scale).render(), end="\n\n")
+    if which in ("t1", "all"):
+        print(t1_profile().render(), end="\n\n")
+    if which in ("t2", "all"):
+        print(t2_linear_sequential(scale, fig6=fig6).render(), end="\n\n")
+    if which in ("a1", "all"):
+        print(ablation_variants().render(), end="\n\n")
+    if which in ("a2", "all"):
+        print(ablation_collectives().render(), end="\n\n")
+    if which in ("a3", "all"):
+        print(ablation_comm_share().render(), end="\n\n")
+    if which in ("a4", "all"):
+        print(ablation_granularity().render(), end="\n\n")
+    if which in ("a5", "all"):
+        print(ablation_topology().render(), end="\n\n")
+    if which in ("b1", "all"):
+        print(baseline_kmeans_comparison().render(), end="\n\n")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    db = make_paper_database(
+        args.items, n_true_clusters=args.clusters, seed=args.seed
+    )
+    hd2, db2 = save_database(db, args.out)
+    print(f"wrote {hd2} and {db2} ({db.n_items} items)")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import io
+
+    from repro.engine.report import membership
+    from repro.engine.results_io import load_search_result
+
+    db = load_database(args.data)
+    search = load_search_result(args.results)
+    clf = search.best.classification
+    if clf.spec.schema != db.schema:
+        raise SystemExit(
+            "schema mismatch: the results file was fitted on different "
+            "attributes than the given database"
+        )
+    wts, hard = membership(db, clf)
+    buf = io.StringIO()
+    if args.proba:
+        header = ["item", "class"] + [f"p{j}" for j in range(clf.n_classes)]
+        buf.write(",".join(header) + "\n")
+        for i in range(db.n_items):
+            probs = ",".join(f"{p:.6f}" for p in wts[i])
+            buf.write(f"{i},{hard[i]},{probs}\n")
+    else:
+        buf.write("item,class\n")
+        for i in range(db.n_items):
+            buf.write(f"{i},{hard[i]}\n")
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(buf.getvalue(), encoding="utf-8")
+        print(f"wrote {db.n_items} assignments to {args.out}")
+    else:
+        print(buf.getvalue(), end="")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    if args.command == "synth":
+        return _cmd_synth(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

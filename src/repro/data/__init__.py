@@ -1,0 +1,39 @@
+"""Data substrate: attribute schemas, databases, synthesis, I/O, partitioning.
+
+AutoClass consumes a *database* — a table of items over a declared
+attribute set — described by a header (``.hd2``) and stored in a data
+file (``.db2``).  This package reimplements that substrate:
+
+* :mod:`repro.data.attributes` — typed attribute descriptors,
+* :mod:`repro.data.database` — column-major numpy storage with missing
+  masks,
+* :mod:`repro.data.synth` — the paper's synthetic workloads,
+* :mod:`repro.data.io` — ``.hd2``/``.db2``-style text round-trip,
+* :mod:`repro.data.partition` — the block partitioning P-AutoClass uses
+  to split items over ranks.
+"""
+
+from repro.data.attributes import (
+    AttributeSet,
+    DiscreteAttribute,
+    RealAttribute,
+)
+from repro.data.database import Database
+from repro.data.partition import block_partition, partition_bounds
+from repro.data.synth import (
+    make_mixed_database,
+    make_paper_database,
+    make_separable_blobs,
+)
+
+__all__ = [
+    "AttributeSet",
+    "Database",
+    "DiscreteAttribute",
+    "RealAttribute",
+    "block_partition",
+    "make_mixed_database",
+    "make_paper_database",
+    "make_separable_blobs",
+    "partition_bounds",
+]

@@ -1,0 +1,68 @@
+"""Sequential AutoClass: the engine P-AutoClass parallelizes.
+
+Structure mirrors the paper's Figure 1–3 decomposition of AutoClass C:
+
+* ``BIG_LOOP`` (classification generation and evaluation) —
+  :mod:`repro.engine.search`;
+* ``base_cycle`` = ``update_wts`` → ``update_parameters`` →
+  ``update_approximations`` — :mod:`repro.engine.cycle`,
+  :mod:`repro.engine.wts`, :mod:`repro.engine.params`,
+  :mod:`repro.engine.approx`.
+
+Every step is split into a *local* part (a pure function of a database
+block) and a *finalize* part (a pure function of globally reduced
+quantities).  The sequential engine composes them with an identity
+reduction; :mod:`repro.parallel` composes the very same functions with
+``Allreduce`` — which is how the reproduction guarantees the paper's
+"same semantics as the sequential algorithm".
+"""
+
+from repro.engine.classification import Classification, Scores
+from repro.engine.convergence import (
+    ConvergenceChecker,
+    RelativeDeltaChecker,
+    SlidingWindowChecker,
+)
+from repro.engine.cycle import CycleStats, base_cycle
+from repro.engine.init import initial_classification, random_weights
+from repro.engine.modelsearch import (
+    ModelSearchResult,
+    candidate_specs,
+    run_model_search,
+)
+from repro.engine.results_io import (
+    load_classification,
+    load_search_result,
+    save_classification,
+    save_search_result,
+)
+from repro.engine.report import ClassReport, classification_report
+from repro.engine.rlog import detailed_report, write_report
+from repro.engine.search import SearchConfig, SearchResult, TryResult, run_search
+
+__all__ = [
+    "ClassReport",
+    "Classification",
+    "ConvergenceChecker",
+    "CycleStats",
+    "ModelSearchResult",
+    "RelativeDeltaChecker",
+    "Scores",
+    "SearchConfig",
+    "SearchResult",
+    "SlidingWindowChecker",
+    "TryResult",
+    "base_cycle",
+    "candidate_specs",
+    "classification_report",
+    "detailed_report",
+    "initial_classification",
+    "load_classification",
+    "load_search_result",
+    "random_weights",
+    "run_model_search",
+    "run_search",
+    "save_classification",
+    "save_search_result",
+    "write_report",
+]

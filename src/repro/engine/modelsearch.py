@@ -1,0 +1,168 @@
+"""Model-level search: AutoClass's second search dimension.
+
+Section 2 of the paper: "there are two levels of search: parameter
+level search and model level search ... AutoClass searches for the most
+probable T, from a set of possible Ts with different attribute
+dependencies and class structure."  The class-structure half (the
+number of classes) is the BIG_LOOP's ``start_j_list``; this module adds
+the *attribute-dependency* half: candidate model forms that treat the
+real attributes as independent (``single_normal_*``) or as correlated
+blocks (``multi_normal_cn``), ranked — like everything in AutoClass —
+by the Cheeseman–Stutz approximation of ``log P(X|T)``.
+
+The evidence does the right thing automatically: a correlated block
+earns its extra ``d(d-1)/2`` covariance parameters only when the data's
+within-class correlations pay for them (tested on both kinds of data).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+from repro.data.attributes import DiscreteAttribute, RealAttribute
+from repro.data.database import Database
+from repro.engine.search import SearchConfig, SearchResult, run_search
+from repro.models.multinomial import MultinomialTerm
+from repro.models.multinormal import MultiNormalTerm
+from repro.models.normal import NormalMissingTerm, NormalTerm
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+
+logger = logging.getLogger(__name__)
+
+
+def correlated_spec(
+    schema, summary: DataSummary, block: tuple[int, ...] | None = None
+) -> ModelSpec:
+    """A spec with one ``multi_normal_cn`` block over real attributes.
+
+    ``block`` selects the correlated columns (default: every complete
+    real attribute); all remaining attributes get their default
+    independent terms.  Raises if fewer than two block attributes are
+    available (a one-column "block" is just ``single_normal_cn``).
+    """
+    if block is None:
+        block = tuple(
+            i
+            for i in schema.real_indices
+            if not summary.attribute(i).has_missing
+        )
+    if len(block) < 2:
+        raise ValueError(
+            f"a correlated block needs >= 2 complete real attributes, "
+            f"got {len(block)}"
+        )
+    for i in block:
+        attr = schema[i]
+        if not isinstance(attr, RealAttribute):
+            raise ValueError(f"attribute {attr.name!r} is not real")
+        if summary.attribute(i).has_missing:
+            raise ValueError(
+                f"attribute {attr.name!r} has missing values; "
+                "multi_normal_cn requires complete columns"
+            )
+    terms = [
+        MultiNormalTerm(block, tuple(schema[i] for i in block), summary)
+    ]
+    for i, attr in enumerate(schema):
+        if i in block:
+            continue
+        if isinstance(attr, RealAttribute):
+            if summary.attribute(i).has_missing:
+                terms.append(NormalMissingTerm(i, attr, summary))
+            else:
+                terms.append(NormalTerm(i, attr, summary))
+        else:
+            assert isinstance(attr, DiscreteAttribute)
+            terms.append(MultinomialTerm(i, attr, summary))
+    return ModelSpec(schema=schema, terms=tuple(terms))
+
+
+def candidate_specs(
+    schema, summary: DataSummary
+) -> list[tuple[str, ModelSpec]]:
+    """The default model-level candidates.
+
+    * ``"independent"`` — every attribute its own term (AutoClass's
+      default model);
+    * ``"correlated"`` — one full-covariance block over the complete
+      real attributes (only offered when at least two exist).
+    """
+    candidates = [("independent", ModelSpec.default_for(schema, summary))]
+    complete_reals = [
+        i for i in schema.real_indices if not summary.attribute(i).has_missing
+    ]
+    if len(complete_reals) >= 2:
+        candidates.append(
+            ("correlated", correlated_spec(schema, summary))
+        )
+    return candidates
+
+
+@dataclass(frozen=True)
+class ModelTrial:
+    """One candidate model form and its converged search."""
+
+    name: str
+    spec: ModelSpec
+    search: SearchResult
+
+    @property
+    def score(self) -> float:
+        """Best Cheeseman–Stutz score achieved under this model form."""
+        return self.search.best.score
+
+
+@dataclass
+class ModelSearchResult:
+    """Ranked outcome of the model-level search."""
+
+    trials: list[ModelTrial] = field(default_factory=list)
+
+    @property
+    def best(self) -> ModelTrial:
+        if not self.trials:
+            raise ValueError("model search produced no trials")
+        return max(self.trials, key=lambda t: t.score)
+
+    def summary(self) -> str:
+        lines = [f"Model-level search: {len(self.trials)} model forms"]
+        best = self.best
+        for t in sorted(self.trials, key=lambda t: -t.score):
+            mark = "*" if t is best else " "
+            best_try = t.search.best
+            lines.append(
+                f" {mark} {t.name}: logP(X|T)~={t.score:.2f} "
+                f"(J={best_try.n_classes_requested}, "
+                f"{best_try.classification.scores.n_populated} populated, "
+                f"{t.spec.n_stats} stats/class)"
+            )
+        return "\n".join(lines)
+
+
+def run_model_search(
+    db: Database,
+    config: SearchConfig | None = None,
+    specs: list[tuple[str, ModelSpec]] | None = None,
+) -> ModelSearchResult:
+    """Search over model forms x class counts (both AutoClass levels).
+
+    Each candidate form runs the full BIG_LOOP (same seed — the
+    comparison is between forms, not initializations) and the forms are
+    ranked by their best Cheeseman–Stutz score.
+    """
+    config = config or SearchConfig()
+    if specs is None:
+        summary = DataSummary.from_database(db)
+        specs = candidate_specs(db.schema, summary)
+    if not specs:
+        raise ValueError("no candidate model specs to search over")
+    result = ModelSearchResult()
+    for name, spec in specs:
+        logger.info("model form %r: %d terms, %d stats/class",
+                    name, spec.n_terms, spec.n_stats)
+        search = run_search(db, config, spec)
+        result.trials.append(ModelTrial(name=name, spec=spec, search=search))
+        logger.info("model form %r scored %.2f", name, result.trials[-1].score)
+    return result

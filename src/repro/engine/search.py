@@ -1,0 +1,238 @@
+"""The BIG_LOOP: classification generation and evaluation.
+
+The paper's Figure 2 names the steps of one pass:
+
+1. *Select the number of classes* — cycle through ``start_j_list``
+   (the paper used ``2, 4, 8, 16, 24, 50, 64``), then keep drawing from
+   it pseudo-randomly;
+2. *New classification try* — initialize and run ``base_cycle`` to
+   convergence (~all the compute);
+3. *Duplicates elimination* — a converged try whose populated class
+   count and score match an already-stored classification is recorded as
+   a duplicate, not stored;
+4. *Select the best classification* — rank by the Cheeseman–Stutz
+   approximation of ``log P(X|T)``;
+5. *Store partial results* — every kept try is retained in the result.
+
+Every decision in this loop is a deterministic function of the seed and
+the (globally reduced) scores, which is what lets P-AutoClass replicate
+the control flow on all ranks without communicating decisions.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.engine.classification import Classification
+from repro.engine.convergence import ConvergenceChecker, RelativeDeltaChecker
+from repro.engine.cycle import base_cycle
+from repro.engine.init import INIT_METHODS, initial_classification
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.util.rng import SeedSequenceStream
+
+logger = logging.getLogger(__name__)
+
+#: The paper's experiment setting (section 4).
+PAPER_START_J_LIST = (2, 4, 8, 16, 24, 50, 64)
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of the BIG_LOOP (defaults follow AutoClass / the paper)."""
+
+    start_j_list: tuple[int, ...] = PAPER_START_J_LIST
+    max_n_tries: int = len(PAPER_START_J_LIST)
+    rel_delta: float = 1e-4
+    n_consecutive: int = 2
+    max_cycles: int = 200
+    #: ``"seeded"`` (k-means-style start) reaches good optima far more
+    #: reliably than AutoClass's symmetric random weights; the
+    #: ``"dirichlet"``/``"sharp"`` options reproduce the classic
+    #: behaviour (and are required for partitioned-data parallel runs).
+    init_method: str = "seeded"
+    seed: int = 0
+    duplicate_eps: float = 0.5
+    #: Wall-clock budget for the whole search (None = unlimited); checked
+    #: between tries like AutoClass's time-based stopping condition.
+    #: Sequential only — parallel searches must replicate control flow
+    #: deterministically and therefore reject a wall-clock budget.
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.start_j_list:
+            raise ValueError("start_j_list must not be empty")
+        if any(j < 1 for j in self.start_j_list):
+            raise ValueError(f"class counts must be >= 1: {self.start_j_list}")
+        if self.max_n_tries < 1:
+            raise ValueError(f"max_n_tries must be >= 1, got {self.max_n_tries}")
+        if self.init_method not in INIT_METHODS:
+            raise ValueError(
+                f"init_method {self.init_method!r} not in {INIT_METHODS}"
+            )
+        if self.duplicate_eps < 0:
+            raise ValueError("duplicate_eps must be >= 0")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive (or None)")
+
+    def checker(self) -> ConvergenceChecker:
+        return RelativeDeltaChecker(
+            rel_delta=self.rel_delta,
+            n_consecutive=self.n_consecutive,
+            max_cycles=self.max_cycles,
+        )
+
+    def select_n_classes(self, try_index: int, stream: SeedSequenceStream) -> int:
+        """Step 1 of the BIG_LOOP — deterministic in (seed, try_index)."""
+        if try_index < len(self.start_j_list):
+            return self.start_j_list[try_index]
+        rng = stream.child("select_j", try_index)
+        return int(rng.choice(np.asarray(self.start_j_list)))
+
+
+@dataclass(frozen=True)
+class TryResult:
+    """Outcome of one classification try."""
+
+    try_index: int
+    n_classes_requested: int
+    classification: Classification
+    converged: bool
+    n_cycles: int
+    duplicate_of: int | None = None
+
+    @property
+    def score(self) -> float:
+        assert self.classification.scores is not None
+        return self.classification.scores.log_marginal_cs
+
+
+@dataclass
+class SearchResult:
+    """All tries of one BIG_LOOP run, plus the selected best."""
+
+    config: SearchConfig
+    tries: list[TryResult] = field(default_factory=list)
+
+    @property
+    def best(self) -> TryResult:
+        kept = [t for t in self.tries if t.duplicate_of is None]
+        if not kept:
+            raise ValueError("search produced no classifications")
+        return max(kept, key=lambda t: t.score)
+
+    @property
+    def n_duplicates(self) -> int:
+        return sum(1 for t in self.tries if t.duplicate_of is not None)
+
+    def summary(self) -> str:
+        lines = [
+            f"Search: {len(self.tries)} tries, {self.n_duplicates} duplicates"
+        ]
+        for t in self.tries:
+            mark = "*" if t is self.best else " "
+            dup = f" dup-of-{t.duplicate_of}" if t.duplicate_of is not None else ""
+            scores = t.classification.scores
+            assert scores is not None
+            lines.append(
+                f" {mark} try {t.try_index}: J={t.n_classes_requested} "
+                f"populated={scores.n_populated} cycles={t.n_cycles} "
+                f"logP(X|T)~={t.score:.2f}{dup}"
+            )
+        return "\n".join(lines)
+
+
+def converge_try(
+    db: Database,
+    clf: Classification,
+    checker: ConvergenceChecker,
+) -> tuple[Classification, bool]:
+    """Run ``base_cycle`` until the checker stops it.
+
+    Returns the last classification (scores evaluate its E-step point)
+    and whether the stop was a genuine convergence (vs the cycle cap).
+    """
+    stopped = False
+    while not stopped:
+        clf, _wts, _stats = base_cycle(db, clf)
+        assert clf.scores is not None
+        stopped = checker.update(clf.scores.log_marginal_cs)
+    return clf, not checker.hit_cycle_limit
+
+
+def is_duplicate(
+    candidate: Classification, stored: Classification, eps: float
+) -> bool:
+    """Step 3: same populated class count and score within ``eps``.
+
+    AutoClass's duplicate rule — different random starts that converge
+    to the same peak produce (up to class relabeling) the same
+    classification, which this detects without parameter comparison.
+    """
+    a, b = candidate.scores, stored.scores
+    assert a is not None and b is not None
+    return (
+        a.n_populated == b.n_populated
+        and abs(a.log_marginal_cs - b.log_marginal_cs) <= eps
+    )
+
+
+def run_search(
+    db: Database,
+    config: SearchConfig | None = None,
+    spec: ModelSpec | None = None,
+) -> SearchResult:
+    """Sequential AutoClass: the full BIG_LOOP over one database."""
+    config = config or SearchConfig()
+    if spec is None:
+        spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    spec.validate(db)
+    stream = SeedSequenceStream(config.seed)
+    result = SearchResult(config=config)
+    started = time.perf_counter()
+    for k in range(config.max_n_tries):
+        if (
+            result.tries
+            and config.max_seconds is not None
+            and time.perf_counter() - started >= config.max_seconds
+        ):
+            break  # budget spent; at least one try is always completed
+        j = config.select_n_classes(k, stream)
+        logger.info("try %d: J=%d (seed %d)", k, j, config.seed)
+        clf0 = initial_classification(
+            db, spec, j, stream.child("try", k), method=config.init_method
+        )
+        clf, converged = converge_try(db, clf0, config.checker())
+        duplicate_of = next(
+            (
+                t.try_index
+                for t in result.tries
+                if t.duplicate_of is None
+                and is_duplicate(clf, t.classification, config.duplicate_eps)
+            ),
+            None,
+        )
+        logger.info(
+            "try %d done: %d cycles, logP(X|T)~=%.2f%s%s",
+            k,
+            clf.n_cycles,
+            clf.scores.log_marginal_cs if clf.scores else float("nan"),
+            "" if converged else " (cycle limit)",
+            f" duplicate of try {duplicate_of}" if duplicate_of is not None else "",
+        )
+        result.tries.append(
+            TryResult(
+                try_index=k,
+                n_classes_requested=j,
+                classification=clf,
+                converged=converged,
+                n_cycles=clf.n_cycles,
+                duplicate_of=duplicate_of,
+            )
+        )
+    return result

@@ -1,0 +1,98 @@
+"""``update_wts`` — the E-step, split into local and finalize halves.
+
+AutoClass computes, for every item i and class j, the normalized class
+membership weight ``w_ij = L_ij / sum_j L_ij`` and the per-class totals
+``w_j = sum_i w_ij``.  The paper's parallel version (its Figure 4)
+computes the weights on each rank's partition, sums the local ``w_j``,
+and Allreduces them.
+
+The reduction payload here carries two extra scalars alongside ``w_j``
+(still a single Allreduce, as in the paper):
+
+* ``sum log Z_i`` — the observed-data log likelihood ``log P(X|V)``;
+* ``sum_ij w_ij log w_ij`` — the negative assignment entropy, which
+  together with the first scalar yields the *completed*-data log
+  likelihood ``log P(X-hat|V)`` needed by the Cheeseman–Stutz
+  approximation (``update_approximations``) without a second pass over
+  the items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.engine.classification import Classification
+from repro.util import workhooks
+from repro.util.logspace import log_normalize_rows
+
+#: Number of extra scalars appended after the J per-class weights.
+N_EXTRA_SLOTS = 2
+
+
+@dataclass(frozen=True)
+class WtsReduction:
+    """Globally reduced quantities of one E-step."""
+
+    w_j: np.ndarray  # (n_classes,) total membership weight per class
+    sum_log_z: float  # log P(X | V)
+    sum_w_log_w: float  # sum_ij w_ij log w_ij  (negative entropy, <= 0)
+
+    @property
+    def n_items_weighted(self) -> float:
+        return float(self.w_j.sum())
+
+
+def compute_log_joint(db: Database, clf: Classification) -> np.ndarray:
+    """``(n_items, n_classes)`` log joint ``log pi_j + log p(x_i | theta_j)``."""
+    out = np.tile(clf.log_pi, (db.n_items, 1))
+    for term, params in zip(clf.spec.terms, clf.term_params):
+        out += term.log_likelihood(db, params)
+    return out
+
+
+def local_update_wts(
+    db: Database, clf: Classification
+) -> tuple[np.ndarray, np.ndarray]:
+    """E-step over a database block.
+
+    Returns ``(wts, payload)`` where ``wts`` is the ``(n_items_local,
+    n_classes)`` weight matrix (kept local — never communicated) and
+    ``payload`` is the additive reduction vector
+    ``[w_j (J), sum_log_z, sum_w_log_w]`` of length ``J + 2``.
+    """
+    workhooks.report("wts", db.n_items, clf.n_classes, clf.spec.n_stats)
+    log_joint = compute_log_joint(db, clf)
+    wts, log_z = log_normalize_rows(log_joint)
+    payload = np.empty(clf.n_classes + N_EXTRA_SLOTS, dtype=np.float64)
+    payload[: clf.n_classes] = wts.sum(axis=0)
+    payload[clf.n_classes] = log_z.sum()
+    # w log w with the 0 log 0 = 0 convention.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        wlw = np.where(wts > 0.0, wts * np.log(wts), 0.0)
+    payload[clf.n_classes + 1] = wlw.sum()
+    return wts, payload
+
+
+def finalize_wts(payload: np.ndarray, n_classes: int) -> WtsReduction:
+    """Unpack a (reduced) payload vector into a :class:`WtsReduction`."""
+    payload = np.asarray(payload, dtype=np.float64)
+    if payload.shape != (n_classes + N_EXTRA_SLOTS,):
+        raise ValueError(
+            f"payload shape {payload.shape} != ({n_classes + N_EXTRA_SLOTS},)"
+        )
+    return WtsReduction(
+        w_j=payload[:n_classes].copy(),
+        sum_log_z=float(payload[n_classes]),
+        sum_w_log_w=float(payload[n_classes + 1]),
+    )
+
+
+def update_wts(
+    db: Database, clf: Classification
+) -> tuple[np.ndarray, WtsReduction]:
+    """Sequential ``update_wts``: local pass + identity reduction."""
+    wts, payload = local_update_wts(db, clf)
+    return wts, finalize_wts(payload, clf.n_classes)

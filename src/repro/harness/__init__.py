@@ -1,0 +1,47 @@
+"""Experiment harness: regenerates every figure and text claim.
+
+Per-experiment index in DESIGN.md; the benchmark files under
+``benchmarks/`` are thin wrappers over these functions, so every result
+is also reproducible interactively::
+
+    from repro.harness import fig7_speedup, ExperimentScale
+    print(fig7_speedup(ExperimentScale(0.1)).render())
+"""
+
+from repro.harness.experiments import (
+    PAPER_PROCS,
+    PAPER_SIZES,
+    PAPER_START_J_LIST,
+    ExperimentScale,
+)
+from repro.harness.runner import (
+    ablation_collectives,
+    ablation_comm_share,
+    ablation_granularity,
+    ablation_topology,
+    ablation_variants,
+    baseline_kmeans_comparison,
+    fig6_elapsed,
+    fig7_speedup,
+    fig8_scaleup,
+    t1_profile,
+    t2_linear_sequential,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER_PROCS",
+    "PAPER_SIZES",
+    "PAPER_START_J_LIST",
+    "ablation_collectives",
+    "ablation_comm_share",
+    "ablation_granularity",
+    "ablation_topology",
+    "ablation_variants",
+    "baseline_kmeans_comparison",
+    "fig6_elapsed",
+    "fig7_speedup",
+    "fig8_scaleup",
+    "t1_profile",
+    "t2_linear_sequential",
+]

@@ -1,0 +1,198 @@
+"""SPMD programs executed on the simulated machine by the experiments.
+
+Compute pricing is chosen by the world's ``compute_mode``:
+
+* ``"counted"`` (the experiments' default) — the engine kernels report
+  their work through :mod:`repro.util.workhooks` and the simulator
+  prices it with the :class:`~repro.simnet.workmodel.WorkModel`.
+  Deterministic, and free of the Python call-overhead artifacts a 1996
+  C implementation would not have.
+* ``"measured"`` — scaled host CPU time (only meaningful when
+  partitions stay above ~10^4 items).
+
+The programs themselves are mode-agnostic; they differ from the library
+driver only in using the **paper's** communication structure by default
+(``granularity="per_term_class"``: the Allreduce inside the per-class /
+per-attribute loops, as the paper's Figure 5 draws it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.data.partition import block_partition
+from repro.engine.approx import update_approximations
+from repro.engine.classification import Classification
+from repro.engine.params import finalize_parameters, local_update_parameters
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.mpc.api import Communicator
+from repro.parallel.pparams import parallel_update_parameters
+from repro.parallel.psearch import parallel_initial_classification
+from repro.parallel.pwts import parallel_update_wts
+from repro.util.rng import SeedSequenceStream
+
+#: Reduction granularity of the figure experiments: the paper's Figure 5
+#: places the Allreduce inside the per-class / per-attribute loops.
+PAPER_GRANULARITY = "per_term_class"
+
+
+def paper_base_cycle(
+    local_db: Database,
+    clf: Classification,
+    n_total: int,
+    comm: Communicator,
+    granularity: str = PAPER_GRANULARITY,
+) -> Classification:
+    """P-AutoClass ``base_cycle`` with the paper's reduce granularity."""
+    wts, reduction = parallel_update_wts(local_db, clf, comm)
+    new_clf, global_stats = parallel_update_parameters(
+        local_db, clf, wts, reduction.w_j, n_total, comm, granularity
+    )
+    scores = update_approximations(clf, global_stats, reduction, n_total)
+    return new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
+
+
+def wts_only_paper_cycle(
+    local_db: Database,
+    full_db: Database,
+    clf: Classification,
+    comm: Communicator,
+) -> Classification:
+    """Miller & Guo-style cycle: wts parallel, M-step central on rank 0.
+
+    The full weight matrix is gathered to rank 0 (priced by the network
+    model) and the whole-dataset M-step runs there alone — its work
+    report prices ``n_total`` items on rank 0's clock automatically.
+    """
+    spec = clf.spec
+    n_total = full_db.n_items
+    wts, reduction = parallel_update_wts(local_db, clf, comm)
+    gathered = comm.gather(wts, root=0)
+    if comm.rank == 0:
+        assert gathered is not None
+        full_wts = np.vstack(gathered)
+        global_stats = local_update_parameters(full_db, spec, full_wts)
+        log_pi, term_params = finalize_parameters(
+            spec, global_stats, reduction.w_j, n_total
+        )
+        package = (log_pi, term_params, global_stats)
+    else:
+        package = None
+    log_pi, term_params, global_stats = comm.bcast(package, root=0)
+    new_clf = Classification(
+        spec=spec,
+        n_classes=clf.n_classes,
+        log_pi=log_pi,
+        term_params=term_params,
+        n_cycles=clf.n_cycles,
+    )
+    scores = update_approximations(clf, global_stats, reduction, n_total)
+    return new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
+
+
+def classification_program(comm, db, j_list, n_cycles, seed):
+    """Fixed-cycle classification pass over ``j_list`` (Figs. 6/7 workload)."""
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    local = block_partition(db, comm.size, comm.rank)
+    stream = SeedSequenceStream(seed)
+    score = 0.0
+    for k, j in enumerate(j_list):
+        clf = parallel_initial_classification(
+            local, spec, j, db.n_items, stream.child("try", k), comm
+        )
+        for _ in range(n_cycles):
+            clf = paper_base_cycle(local, clf, db.n_items, comm)
+        assert clf.scores is not None
+        score = clf.scores.log_marginal_cs
+    return score
+
+
+def scaleup_program(comm, db, n_classes, n_measure, seed):
+    """One warm-up + ``n_measure`` timed cycles (Fig. 8 workload).
+
+    Returns this rank's virtual time after init and after each measured
+    cycle; the harness derives per-cycle global durations.
+    """
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    local = block_partition(db, comm.size, comm.rank)
+    stream = SeedSequenceStream(seed)
+    clf = parallel_initial_classification(
+        local, spec, n_classes, db.n_items, stream.child("try", 0), comm
+    )
+    clf = paper_base_cycle(local, clf, db.n_items, comm)  # warm-up
+    marks = [comm.wtime()]
+    for _ in range(n_measure):
+        clf = paper_base_cycle(local, clf, db.n_items, comm)
+        marks.append(comm.wtime())
+    return marks
+
+
+def variant_program(comm, db, n_classes, n_cycles, seed, variant):
+    """EXP-A1 workload: run one variant for a fixed number of cycles."""
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    local = block_partition(db, comm.size, comm.rank)
+    stream = SeedSequenceStream(seed)
+    clf = parallel_initial_classification(
+        local, spec, n_classes, db.n_items, stream.child("try", 0), comm
+    )
+    for _ in range(n_cycles):
+        if variant == "pautoclass":
+            clf = paper_base_cycle(local, clf, db.n_items, comm)
+        elif variant == "wts_only":
+            clf = wts_only_paper_cycle(local, db, clf, comm)
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+    assert clf.scores is not None
+    return clf.scores.log_marginal_cs
+
+
+def granularity_program(comm, db, n_classes, n_cycles, seed, granularity):
+    """EXP-A4 workload: packed vs per-term-class parameter reduction."""
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    local = block_partition(db, comm.size, comm.rank)
+    stream = SeedSequenceStream(seed)
+    clf = parallel_initial_classification(
+        local, spec, n_classes, db.n_items, stream.child("try", 0), comm
+    )
+    for _ in range(n_cycles):
+        clf = paper_base_cycle(local, clf, db.n_items, comm, granularity)
+    assert clf.scores is not None
+    return clf.scores.log_marginal_cs
+
+
+def allreduce_program(comm, nbytes, n_rounds):
+    """EXP-A2 microbenchmark: mean virtual seconds per Allreduce."""
+    payload = np.zeros(max(nbytes // 8, 1), dtype=np.float64)
+    comm.barrier()
+    t0 = comm.wtime()
+    for _ in range(n_rounds):
+        payload = comm.allreduce(payload)
+    return (comm.wtime() - t0) / n_rounds
+
+
+def kmeans_program(comm, db, k, n_measure, seed):
+    """EXP-B1 workload: mean virtual seconds per parallel k-means iteration.
+
+    ``tol=0`` pins the iteration count (no early convergence), so every
+    rank executes exactly ``n_measure + 1`` identically shaped
+    iterations and the mean is exact.
+    """
+    from repro.baselines.kmeans import parallel_kmeans
+
+    local = block_partition(db, comm.size, comm.rank)
+    # Warm-up + measurement in one run: max_iter fixed, tol=0 means it
+    # never converges early, so every rank executes exactly n_measure+1
+    # identical-shape iterations.
+    t0 = comm.wtime()
+    parallel_kmeans(
+        comm, local, k, full_db=db, seed=seed, max_iter=n_measure + 1, tol=0.0
+    )
+    t1 = comm.wtime()
+    return (t1 - t0) / (n_measure + 1)
+
+
+def topology_program(comm, db, n_classes, n_cycles, seed):
+    """EXP-A5 workload: the standard fixed-cycle run (machine varies)."""
+    return variant_program(comm, db, n_classes, n_cycles, seed, "pautoclass")

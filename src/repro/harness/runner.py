@@ -1,0 +1,890 @@
+"""Experiment runners: one function per figure/claim.
+
+Each function runs its experiment on the calibrated simulated CS-2 and
+returns a result object carrying both the raw numbers (consumed by
+tests and benches) and a ``render()`` that prints the same rows/series
+the paper's figure plots.
+
+All figure experiments accept ``mode``:
+
+* ``"counted"`` (default) — compute priced by the
+  :class:`~repro.simnet.workmodel.WorkModel` (deterministic, free of
+  Python call-overhead artifacts);
+* ``"measured"`` — compute priced by scaled host CPU time (use with
+  scales large enough that partitions stay above ~10^4 items).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synth import make_paper_database
+from repro.engine.classification import Classification
+from repro.engine.cycle import base_cycle
+from repro.engine.init import initial_classification
+from repro.engine.search import PAPER_START_J_LIST
+from repro.harness.experiments import ExperimentScale
+from repro.harness.programs import (
+    allreduce_program,
+    classification_program,
+    granularity_program,
+    scaleup_program,
+    variant_program,
+)
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.mpc.api import CollectiveConfig
+from repro.simnet.calibration import calibrate_cpu_scale
+from repro.simnet.costmodel import CostModel
+from repro.simnet.machine import MachineSpec, meiko_cs2
+from repro.simnet.simworld import SimRunResult, run_spmd_sim
+from repro.util.rng import SeedSequenceStream
+from repro.util.tables import format_series, format_table
+from repro.util.timefmt import format_hms
+
+MODES = ("counted", "measured")
+
+
+def calibrated_machine(n_procs: int, comm_scale: float = 1.0) -> MachineSpec:
+    """The simulated CS-2 with the host-calibrated CPU scale.
+
+    ``comm_scale`` shrinks the latency constants in lock-step with a
+    scaled-down workload (see :func:`repro.simnet.machine.meiko_cs2`).
+    """
+    return meiko_cs2(
+        n_procs, cpu_scale=calibrate_cpu_scale(), comm_scale=comm_scale
+    )
+
+
+def _compute_mode(mode: str) -> str:
+    """Map an experiment mode onto a simworld compute mode."""
+    if mode not in MODES:
+        raise ValueError(f"mode {mode!r} not in {MODES}")
+    return "counted" if mode == "counted" else "measured"
+
+
+def _run_classification_sim(
+    db, n_procs: int, scale: ExperimentScale, rep: int, mode: str
+) -> SimRunResult:
+    return run_spmd_sim(
+        classification_program,
+        n_procs,
+        calibrated_machine(n_procs, comm_scale=scale.factor),
+        db,
+        scale.start_j_list,
+        scale.cycles_per_try,
+        scale.seed + rep,
+        compute_mode=_compute_mode(mode),
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-F6 — elapsed time vs processors, per dataset size.
+
+@dataclass
+class Fig6Result:
+    scale: ExperimentScale
+    mode: str
+    #: elapsed[(n_items, n_procs)] = mean virtual seconds
+    elapsed: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def series(self, n_items: int) -> tuple[list[int], list[float]]:
+        procs = sorted({p for (s, p) in self.elapsed if s == n_items})
+        return procs, [self.elapsed[(n_items, p)] for p in procs]
+
+    def render(self) -> str:
+        sizes = sorted({s for (s, _p) in self.elapsed})
+        procs = sorted({p for (_s, p) in self.elapsed})
+        rows = []
+        for s in sizes:
+            rows.append(
+                [f"{s} tuples"]
+                + [format_hms(self.elapsed[(s, p)]) for p in procs]
+            )
+        return format_table(
+            ["dataset"] + [str(p) for p in procs],
+            rows,
+            title=(
+                "Fig. 6 — average elapsed times [h.mm.ss] of P-AutoClass on "
+                f"different numbers of processors "
+                f"({self.scale.describe()}, {self.mode})"
+            ),
+        )
+
+
+def fig6_elapsed(
+    scale: ExperimentScale | None = None, mode: str = "counted"
+) -> Fig6Result:
+    """EXP-F6: elapsed time of the classification workload vs P."""
+    scale = scale or ExperimentScale()
+    result = Fig6Result(scale=scale, mode=mode)
+    for n_items in scale.sizes:
+        db = make_paper_database(n_items, seed=scale.seed)
+        for p in scale.procs:
+            runs = [
+                _run_classification_sim(db, p, scale, rep, mode).elapsed
+                for rep in range(scale.n_reps)
+            ]
+            result.elapsed[(n_items, p)] = float(np.mean(runs))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# EXP-F7 — speedup vs processors.
+
+@dataclass
+class Fig7Result:
+    fig6: Fig6Result
+
+    def speedup(self, n_items: int) -> tuple[list[int], list[float]]:
+        procs, times = self.fig6.series(n_items)
+        t1 = times[procs.index(1)]
+        return procs, [t1 / t for t in times]
+
+    def peak_procs(self, n_items: int) -> int:
+        """Processor count at which this dataset's speedup peaks."""
+        procs, sp = self.speedup(n_items)
+        return procs[int(np.argmax(sp))]
+
+    def render(self) -> str:
+        sizes = sorted({s for (s, _p) in self.fig6.elapsed})
+        blocks = []
+        for s in sizes:
+            procs, sp = self.speedup(s)
+            blocks.append(
+                format_series(
+                    f"speedup[{s} tuples]",
+                    procs,
+                    [f"{v:.2f}" for v in sp],
+                    x_label="no. of processors",
+                    y_label="T1/Tp",
+                )
+            )
+        procs = sorted({p for (_s, p) in self.fig6.elapsed})
+        blocks.append(
+            format_series(
+                "linear", procs, [float(p) for p in procs],
+                x_label="no. of processors", y_label="T1/Tp",
+            )
+        )
+        head = (
+            "Fig. 7 — speedup of P-AutoClass on different numbers of "
+            f"processors ({self.fig6.scale.describe()}, {self.fig6.mode})"
+        )
+        return head + "\n" + "\n".join(blocks)
+
+
+def fig7_speedup(
+    scale: ExperimentScale | None = None,
+    fig6: Fig6Result | None = None,
+    mode: str = "counted",
+) -> Fig7Result:
+    """EXP-F7: speedup T1/Tp from the Fig. 6 measurements."""
+    return Fig7Result(fig6=fig6 or fig6_elapsed(scale, mode))
+
+
+# ---------------------------------------------------------------------------
+# EXP-F8 — scaleup: time per base_cycle, fixed tuples per processor.
+
+@dataclass
+class Fig8Result:
+    scale: ExperimentScale
+    mode: str
+    tuples_per_proc: int
+    #: seconds_per_cycle[(n_classes, n_procs)]
+    seconds_per_cycle: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def series(self, n_classes: int) -> tuple[list[int], list[float]]:
+        procs = sorted({p for (j, p) in self.seconds_per_cycle if j == n_classes})
+        return procs, [self.seconds_per_cycle[(n_classes, p)] for p in procs]
+
+    def flatness(self, n_classes: int) -> float:
+        """max/min per-cycle time across processor counts (1 = flat)."""
+        _, times = self.series(n_classes)
+        return max(times) / min(times)
+
+    def render(self) -> str:
+        blocks = [
+            (
+                "Fig. 8 — scaleup: times per base_cycle iteration (sec), "
+                f"{self.tuples_per_proc} tuples per processor "
+                f"({self.scale.describe()}, {self.mode})"
+            )
+        ]
+        for j in sorted({j for (j, _p) in self.seconds_per_cycle}):
+            procs, times = self.series(j)
+            blocks.append(
+                format_series(
+                    f"{j} clusters",
+                    procs,
+                    [f"{t:.4f}" for t in times],
+                    x_label="Number of processors",
+                    y_label="sec/cycle",
+                )
+            )
+        return "\n".join(blocks)
+
+
+def fig8_scaleup(
+    scale: ExperimentScale | None = None, mode: str = "counted"
+) -> Fig8Result:
+    """EXP-F8: per-cycle time with the per-processor load held fixed."""
+    scale = scale or ExperimentScale()
+    per_proc = scale.scaleup_tuples_per_proc
+    result = Fig8Result(scale=scale, mode=mode, tuples_per_proc=per_proc)
+    n_measure = max(scale.cycles_per_try, 3)
+    for j in scale.scaleup_j:
+        for p in scale.procs:
+            db = make_paper_database(per_proc * p, seed=scale.seed)
+            machine = calibrated_machine(p, comm_scale=scale.factor)
+            reps = []
+            for rep in range(scale.n_reps):
+                run = run_spmd_sim(
+                    scaleup_program,
+                    p,
+                    machine,
+                    db,
+                    j,
+                    n_measure,
+                    scale.seed + rep,
+                    compute_mode=_compute_mode(mode),
+                )
+                # Global cycle boundary = slowest rank at each mark.
+                marks = np.max(np.array(run.results), axis=0)
+                reps.append(float(np.diff(marks).mean()))
+            result.seconds_per_cycle[(j, p)] = float(np.mean(reps))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# EXP-T1 — profile: base_cycle dominates the sequential runtime.
+
+@dataclass
+class T1Result:
+    total_seconds: float
+    cycle_seconds: float
+    wts_seconds: float
+    params_seconds: float
+    approx_seconds: float
+
+    @property
+    def cycle_fraction(self) -> float:
+        return self.cycle_seconds / self.total_seconds
+
+    @property
+    def approx_fraction_of_cycle(self) -> float:
+        return self.approx_seconds / self.cycle_seconds
+
+    def render(self) -> str:
+        rows = [
+            ("total run", f"{self.total_seconds:.3f}", "1.000"),
+            (
+                "base_cycle",
+                f"{self.cycle_seconds:.3f}",
+                f"{self.cycle_fraction:.3f}",
+            ),
+            (
+                "  update_wts",
+                f"{self.wts_seconds:.3f}",
+                f"{self.wts_seconds / self.total_seconds:.3f}",
+            ),
+            (
+                "  update_parameters",
+                f"{self.params_seconds:.3f}",
+                f"{self.params_seconds / self.total_seconds:.3f}",
+            ),
+            (
+                "  update_approximations",
+                f"{self.approx_seconds:.3f}",
+                f"{self.approx_seconds / self.total_seconds:.3f}",
+            ),
+        ]
+        return format_table(
+            ["phase", "seconds", "share"],
+            rows,
+            title=(
+                "T1 — sequential time profile (paper: base_cycle ~ 99.5%, "
+                "update_approximations negligible)"
+            ),
+        )
+
+
+def t1_profile(
+    n_items: int = 20_000,
+    j_list: tuple[int, ...] = PAPER_START_J_LIST[:4],
+    n_cycles: int = 40,
+    seed: int = 2000,
+) -> T1Result:
+    """EXP-T1: where does the sequential run spend its time?
+
+    Runs on the host directly (real ``base_cycle`` timings) — the claim
+    is about the algorithm's structure, not the CS-2.
+    """
+    db = make_paper_database(n_items, seed=seed)
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    stream = SeedSequenceStream(seed)
+    wts_s = params_s = approx_s = 0.0
+    t_start = time.perf_counter()
+    for k, j in enumerate(j_list):
+        clf: Classification = initial_classification(
+            db, spec, j, stream.child("try", k)
+        )
+        for _ in range(n_cycles):
+            clf, _, stats = base_cycle(db, clf)
+            wts_s += stats.seconds_wts
+            params_s += stats.seconds_params
+            approx_s += stats.seconds_approx
+    total = time.perf_counter() - t_start
+    return T1Result(
+        total_seconds=total,
+        cycle_seconds=wts_s + params_s + approx_s,
+        wts_seconds=wts_s,
+        params_seconds=params_s,
+        approx_seconds=approx_s,
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-T2 — sequential elapsed time grows linearly with dataset size.
+
+@dataclass
+class T2Result:
+    sizes: list[int]
+    seconds: list[float]
+
+    @property
+    def r_squared(self) -> float:
+        """R^2 of the least-squares line through (size, seconds)."""
+        x = np.asarray(self.sizes, dtype=np.float64)
+        y = np.asarray(self.seconds, dtype=np.float64)
+        coeffs = np.polyfit(x, y, 1)
+        fit = np.polyval(coeffs, x)
+        ss_res = float(np.sum((y - fit) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    def render(self) -> str:
+        rows = [
+            (s, f"{t:.4f}", f"{t / s * 1e6:.2f}")
+            for s, t in zip(self.sizes, self.seconds)
+        ]
+        return format_table(
+            ["tuples", "seconds (P=1, simulated CS-2)", "us/tuple"],
+            rows,
+            title=(
+                "T2 — sequential elapsed vs dataset size "
+                f"(linear fit R^2 = {self.r_squared:.5f})"
+            ),
+        )
+
+
+def t2_linear_sequential(
+    scale: ExperimentScale | None = None,
+    fig6: Fig6Result | None = None,
+    mode: str = "counted",
+) -> T2Result:
+    """EXP-T2: linearity of sequential time in the dataset size."""
+    scale = scale or ExperimentScale()
+    if fig6 is None:
+        fig6 = Fig6Result(scale=scale, mode=mode)
+        for n_items in scale.sizes:
+            db = make_paper_database(n_items, seed=scale.seed)
+            fig6.elapsed[(n_items, 1)] = _run_classification_sim(
+                db, 1, scale, 0, mode
+            ).elapsed
+    sizes = sorted({s for (s, p) in fig6.elapsed if p == 1})
+    return T2Result(
+        sizes=list(sizes), seconds=[fig6.elapsed[(s, 1)] for s in sizes]
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-A1 — P-AutoClass vs wts-only parallelization (Miller & Guo).
+
+@dataclass
+class A1Result:
+    n_items: int
+    n_classes: int
+    procs: list[int]
+    elapsed_pautoclass: list[float]
+    elapsed_wts_only: list[float]
+
+    def advantage(self, p: int) -> float:
+        """wts-only time / P-AutoClass time at ``p`` processors."""
+        i = self.procs.index(p)
+        return self.elapsed_wts_only[i] / self.elapsed_pautoclass[i]
+
+    def render(self) -> str:
+        rows = []
+        for i, p in enumerate(self.procs):
+            rows.append(
+                (
+                    p,
+                    f"{self.elapsed_pautoclass[i]:.4f}",
+                    f"{self.elapsed_wts_only[i]:.4f}",
+                    f"{self.advantage(p):.2f}x",
+                )
+            )
+        return format_table(
+            ["procs", "P-AutoClass (s)", "wts-only (s)", "advantage"],
+            rows,
+            title=(
+                "A1 — both-phases-parallel (paper) vs wts-only parallel "
+                f"(Miller & Guo) — {self.n_items} tuples, J={self.n_classes}"
+            ),
+        )
+
+
+def ablation_variants(
+    n_items: int = 50_000,
+    n_classes: int = 8,
+    n_cycles: int = 5,
+    procs: tuple[int, ...] = (1, 2, 4, 6, 8, 10),
+    seed: int = 2000,
+    mode: str = "counted",
+    comm_scale: float = 1.0,
+) -> A1Result:
+    """EXP-A1: quantify the paper's improvement over wts-only parallelism."""
+    db = make_paper_database(n_items, seed=seed)
+    out: dict[str, list[float]] = {"pautoclass": [], "wts_only": []}
+    for p in procs:
+        machine = calibrated_machine(p, comm_scale=comm_scale)
+        for variant, acc in out.items():
+            run = run_spmd_sim(
+                variant_program,
+                p,
+                machine,
+                db,
+                n_classes,
+                n_cycles,
+                seed,
+                variant,
+                compute_mode=_compute_mode(mode),
+            )
+            acc.append(run.elapsed)
+    return A1Result(
+        n_items=n_items,
+        n_classes=n_classes,
+        procs=list(procs),
+        elapsed_pautoclass=out["pautoclass"],
+        elapsed_wts_only=out["wts_only"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-A2 — collective algorithm choice for the Allreduce.
+
+@dataclass
+class A2Result:
+    nbytes: int
+    procs: list[int]
+    #: measured[(algorithm, p)] and expected[(algorithm, p)] seconds
+    measured: dict[tuple[str, int], float]
+    expected: dict[tuple[str, int], float]
+
+    def render(self) -> str:
+        algos = sorted({a for (a, _p) in self.measured})
+        rows = []
+        for p in self.procs:
+            for a in algos:
+                rows.append(
+                    (
+                        p,
+                        a,
+                        f"{self.measured[(a, p)] * 1e6:.1f}",
+                        f"{self.expected[(a, p)] * 1e6:.1f}",
+                    )
+                )
+        return format_table(
+            ["procs", "algorithm", "simulated (us)", "textbook (us)"],
+            rows,
+            title=(
+                f"A2 — Allreduce algorithms on the CS-2 model "
+                f"({self.nbytes} B payload)"
+            ),
+        )
+
+
+def ablation_collectives(
+    nbytes: int = 8 * 8 * 6,  # J=8 classes x 6 stats — the paper workload's
+    procs: tuple[int, ...] = (2, 4, 8, 10),
+    n_rounds: int = 50,
+) -> A2Result:
+    """EXP-A2: simulated vs textbook Allreduce costs per algorithm."""
+    measured: dict[tuple[str, int], float] = {}
+    expected: dict[tuple[str, int], float] = {}
+    for p in procs:
+        machine = meiko_cs2(p)
+        cost = CostModel(machine)
+        for algo in ("recursive_doubling", "ring", "reduce_bcast"):
+            run = run_spmd_sim(
+                allreduce_program,
+                p,
+                machine,
+                nbytes,
+                n_rounds,
+                collectives=CollectiveConfig(allreduce=algo),
+                compute_mode="modeled",
+            )
+            measured[(algo, p)] = float(np.mean(run.results))
+            expected[(algo, p)] = cost.expected_allreduce(algo, p, nbytes)
+    return A2Result(
+        nbytes=nbytes, procs=list(procs), measured=measured, expected=expected
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-A3 — communication share and bytes on the wire.
+
+@dataclass
+class A3Result:
+    n_items: int
+    n_classes: int
+    n_cycles: int
+    procs: list[int]
+    comm_fraction: list[float]
+    bytes_per_cycle_per_rank: list[float]
+
+    def render(self) -> str:
+        rows = [
+            (
+                p,
+                f"{self.comm_fraction[i] * 100:.2f}%",
+                f"{self.bytes_per_cycle_per_rank[i]:.0f}",
+            )
+            for i, p in enumerate(self.procs)
+        ]
+        return format_table(
+            ["procs", "comm share of elapsed", "bytes/cycle/rank"],
+            rows,
+            title=(
+                "A3 — communication share (paper: 'the amount of data "
+                "exchanged ... is not so large') — "
+                f"{self.n_items} tuples, J={self.n_classes}"
+            ),
+        )
+
+
+def ablation_comm_share(
+    n_items: int = 10_000,
+    n_classes: int = 8,
+    n_cycles: int = 5,
+    procs: tuple[int, ...] = (2, 4, 6, 8, 10),
+    seed: int = 2000,
+    mode: str = "counted",
+    comm_scale: float = 1.0,
+) -> A3Result:
+    """EXP-A3: how much of a cycle is communication, and how many bytes."""
+    db = make_paper_database(n_items, seed=seed)
+    fractions, bytes_per = [], []
+    for p in procs:
+        run = run_spmd_sim(
+            variant_program,
+            p,
+            calibrated_machine(p, comm_scale=comm_scale),
+            db,
+            n_classes,
+            n_cycles,
+            seed,
+            "pautoclass",
+            compute_mode=_compute_mode(mode),
+        )
+        fractions.append(run.comm_fraction)
+        # +1 cycle: the init's combined Allreduce.
+        bytes_per.append(run.total_bytes / p / (n_cycles + 1))
+    return A3Result(
+        n_items=n_items,
+        n_classes=n_classes,
+        n_cycles=n_cycles,
+        procs=list(procs),
+        comm_fraction=fractions,
+        bytes_per_cycle_per_rank=bytes_per,
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-A4 — parameter-reduction granularity (packed vs the paper's loops).
+
+@dataclass
+class A4Result:
+    n_items: int
+    n_classes: int
+    procs: list[int]
+    elapsed_packed: list[float]
+    elapsed_per_term_class: list[float]
+
+    def overhead(self, p: int) -> float:
+        """per-term-class time / packed time at ``p`` processors."""
+        i = self.procs.index(p)
+        return self.elapsed_per_term_class[i] / self.elapsed_packed[i]
+
+    def render(self) -> str:
+        rows = [
+            (
+                p,
+                f"{self.elapsed_packed[i]:.4f}",
+                f"{self.elapsed_per_term_class[i]:.4f}",
+                f"{self.overhead(p):.2f}x",
+            )
+            for i, p in enumerate(self.procs)
+        ]
+        return format_table(
+            ["procs", "packed (s)", "per-term-class (s)", "overhead"],
+            rows,
+            title=(
+                "A4 — one packed Allreduce per M-step vs the paper's "
+                "Figure-5 per-(class, attribute) Allreduces — "
+                f"{self.n_items} tuples, J={self.n_classes}"
+            ),
+        )
+
+
+def ablation_granularity(
+    n_items: int = 10_000,
+    n_classes: int = 8,
+    n_cycles: int = 5,
+    procs: tuple[int, ...] = (2, 4, 8, 10),
+    seed: int = 2000,
+    mode: str = "counted",
+    comm_scale: float = 1.0,
+) -> A4Result:
+    """EXP-A4: what the paper's loop-level Allreduce structure costs."""
+    db = make_paper_database(n_items, seed=seed)
+    out: dict[str, list[float]] = {"packed": [], "per_term_class": []}
+    for p in procs:
+        machine = calibrated_machine(p, comm_scale=comm_scale)
+        for granularity, acc in out.items():
+            run = run_spmd_sim(
+                granularity_program,
+                p,
+                machine,
+                db,
+                n_classes,
+                n_cycles,
+                seed,
+                granularity,
+                compute_mode=_compute_mode(mode),
+            )
+            acc.append(run.elapsed)
+    return A4Result(
+        n_items=n_items,
+        n_classes=n_classes,
+        procs=list(procs),
+        elapsed_packed=out["packed"],
+        elapsed_per_term_class=out["per_term_class"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-A5 — interconnect topology ablation.
+
+@dataclass
+class A5Result:
+    n_items: int
+    n_classes: int
+    n_procs: int
+    #: elapsed[(regime, topology_name)] virtual seconds; regimes are
+    #: "effective_mpi" (the paper's software-dominated latency) and
+    #: "store_and_forward" (per-hop-dominated routing).
+    elapsed: dict[tuple[str, str], float]
+
+    def regime(self, name: str) -> dict[str, float]:
+        return {t: v for (r, t), v in self.elapsed.items() if r == name}
+
+    def spread(self, regime: str) -> float:
+        """max/min elapsed across topologies under one regime."""
+        values = list(self.regime(regime).values())
+        return max(values) / min(values)
+
+    def render(self) -> str:
+        eff = self.regime("effective_mpi")
+        saf = self.regime("store_and_forward")
+        rows = [
+            (
+                name,
+                f"{eff[name]:.4f}",
+                f"{eff[name] / eff['fat_tree']:.3f}x",
+                f"{saf[name]:.4f}",
+                f"{saf[name] / saf['fat_tree']:.3f}x",
+            )
+            for name in sorted(eff, key=lambda n: saf[n])
+        ]
+        return format_table(
+            ["topology", "MPI-latency (s)", "vs fat tree",
+             "store-and-fwd (s)", "vs fat tree"],
+            rows,
+            title=(
+                f"A5 — interconnect topologies at P={self.n_procs} — "
+                f"{self.n_items} tuples, J={self.n_classes} "
+                "(left: the paper's software-dominated regime; right: "
+                "per-hop-dominated routing)"
+            ),
+        )
+
+
+def ablation_topology(
+    n_items: int = 10_000,
+    n_classes: int = 8,
+    n_cycles: int = 3,
+    n_procs: int = 10,
+    seed: int = 2000,
+    mode: str = "counted",
+    comm_scale: float = 1.0,
+) -> A5Result:
+    """EXP-A5: how much does the CS-2's fat tree matter vs alternatives?
+
+    Latency per message = base + hops x per_hop, so topologies differ
+    through their hop structure.  With the CS-2's software-dominated
+    effective latency the spread is small — evidence for the paper's
+    'portable to various MIMD machines' claim; with raw hardware
+    latencies the spread is the classic topology story.
+    """
+    from repro.harness.programs import variant_program as _prog
+    from repro.simnet.topology import Crossbar, FatTree, Hypercube, Mesh2D, Ring
+
+    import dataclasses
+
+    db = make_paper_database(n_items, seed=seed)
+    topologies = {
+        "fat_tree": FatTree(n_procs, arity=4),
+        "crossbar": Crossbar(n_procs),
+        "hypercube": Hypercube(n_procs),
+        "mesh_2d": Mesh2D(n_procs),
+        "ring": Ring(n_procs),
+    }
+    base = calibrated_machine(n_procs, comm_scale=comm_scale)
+    regimes = {
+        "effective_mpi": base,
+        # Early-multicomputer store-and-forward: tiny base latency, the
+        # route's hops carry the cost.
+        "store_and_forward": dataclasses.replace(
+            base,
+            latency=2e-6 * comm_scale,
+            per_hop=400e-6 * comm_scale,
+        ),
+    }
+    elapsed: dict[tuple[str, str], float] = {}
+    for regime_name, machine0 in regimes.items():
+        for name, topo in topologies.items():
+            machine = machine0.with_topology(topo)
+            run = run_spmd_sim(
+                _prog,
+                n_procs,
+                machine,
+                db,
+                n_classes,
+                n_cycles,
+                seed,
+                "pautoclass",
+                compute_mode=_compute_mode(mode),
+            )
+            elapsed[(regime_name, name)] = run.elapsed
+    return A5Result(
+        n_items=n_items,
+        n_classes=n_classes,
+        n_procs=n_procs,
+        elapsed=elapsed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# EXP-B1 — baseline comparison: P-AutoClass vs parallel k-means.
+
+@dataclass
+class B1Result:
+    n_items: int
+    n_clusters: int
+    procs: list[int]
+    sec_per_iter_kmeans: list[float]
+    sec_per_cycle_pautoclass: list[float]
+
+    def speedup(self, which: str) -> list[float]:
+        times = (
+            self.sec_per_iter_kmeans
+            if which == "kmeans"
+            else self.sec_per_cycle_pautoclass
+        )
+        return [times[0] / t for t in times]
+
+    def render(self) -> str:
+        rows = []
+        km_sp = self.speedup("kmeans")
+        pa_sp = self.speedup("pautoclass")
+        for i, p in enumerate(self.procs):
+            rows.append(
+                (
+                    p,
+                    f"{self.sec_per_cycle_pautoclass[i]:.4f}",
+                    f"{pa_sp[i]:.2f}",
+                    f"{self.sec_per_iter_kmeans[i]:.4f}",
+                    f"{km_sp[i]:.2f}",
+                )
+            )
+        return format_table(
+            ["procs", "P-AutoClass s/cycle", "speedup",
+             "k-means s/iter", "speedup"],
+            rows,
+            title=(
+                "B1 — per-iteration cost: P-AutoClass vs parallel k-means "
+                f"(Stoffel & Belkoniene pattern) — {self.n_items} tuples, "
+                f"k=J={self.n_clusters}"
+            ),
+        )
+
+
+def baseline_kmeans_comparison(
+    n_items: int = 10_000,
+    n_clusters: int = 8,
+    n_measure: int = 5,
+    procs: tuple[int, ...] = (1, 2, 4, 8, 10),
+    seed: int = 2000,
+    mode: str = "counted",
+    comm_scale: float = 1.0,
+) -> B1Result:
+    """EXP-B1: the same SPMD pattern on a much lighter kernel.
+
+    K-means' E-step is ~10x cheaper per (item x class) than AutoClass's
+    Bayesian weighting, while its per-iteration communication is similar
+    — so k-means hits the communication wall at lower processor counts.
+    P-AutoClass's heavier compute is exactly why the paper's approach
+    scales: there is more work to amortize each Allreduce over.
+    """
+    from repro.harness.programs import kmeans_program, scaleup_program
+
+    db = make_paper_database(n_items, seed=seed)
+    km_times, pa_times = [], []
+    for p in procs:
+        machine = calibrated_machine(p, comm_scale=comm_scale)
+        km = run_spmd_sim(
+            kmeans_program,
+            p,
+            machine,
+            db,
+            n_clusters,
+            n_measure,
+            seed,
+            compute_mode=_compute_mode(mode),
+        )
+        km_times.append(float(np.max(km.results)))
+        pa = run_spmd_sim(
+            scaleup_program,
+            p,
+            machine,
+            db,
+            n_clusters,
+            n_measure,
+            seed,
+            compute_mode=_compute_mode(mode),
+        )
+        marks = np.max(np.array(pa.results), axis=0)
+        pa_times.append(float(np.diff(marks).mean()))
+    return B1Result(
+        n_items=n_items,
+        n_clusters=n_clusters,
+        procs=list(procs),
+        sec_per_iter_kmeans=km_times,
+        sec_per_cycle_pautoclass=pa_times,
+    )

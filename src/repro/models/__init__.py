@@ -1,0 +1,53 @@
+"""Attribute probability models (the AutoClass "terms").
+
+AutoClass factors each class's density over *terms*, one per attribute
+(or per correlated block of attributes).  Every term here implements the
+:class:`~repro.models.base.TermModel` contract, whose central property is
+**additive sufficient statistics**: the weighted statistics a term needs
+for its MAP update are sums over items, so a partition of the items over
+P ranks can compute local statistics and a single Allreduce reconstructs
+the global ones.  That property *is* the hinge of the paper's
+parallelization, so it is encoded in the interface rather than being an
+implementation detail.
+
+Implemented term families (AutoClass C model names in parentheses):
+
+* :class:`MultinomialTerm` — discrete attribute (``single_multinomial``),
+  optionally modelling "unknown" as an extra attribute value;
+* :class:`NormalTerm` — real attribute, no missing (``single_normal_cn``);
+* :class:`NormalMissingTerm` — real attribute with missing values
+  (``single_normal_cm``): Bernoulli presence x Gaussian value;
+* :class:`MultiNormalTerm` — correlated block of real attributes
+  (``multi_normal_cn``), full-covariance Gaussian.
+"""
+
+from repro.models.base import TermModel, TermParams
+from repro.models.ignore import IgnoreTerm
+from repro.models.multinomial import MultinomialTerm
+from repro.models.multinormal import MultiNormalTerm
+from repro.models.normal import NormalMissingTerm, NormalTerm
+from repro.models.priors import (
+    BetaPrior,
+    DirichletPrior,
+    NormalGammaPrior,
+    NormalWishartPrior,
+)
+from repro.models.registry import ModelSpec, parse_model_spec
+from repro.models.summary import DataSummary
+
+__all__ = [
+    "BetaPrior",
+    "DataSummary",
+    "DirichletPrior",
+    "IgnoreTerm",
+    "ModelSpec",
+    "MultiNormalTerm",
+    "MultinomialTerm",
+    "NormalGammaPrior",
+    "NormalMissingTerm",
+    "NormalTerm",
+    "NormalWishartPrior",
+    "TermModel",
+    "TermParams",
+    "parse_model_spec",
+]

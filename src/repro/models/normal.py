@@ -1,0 +1,233 @@
+"""Real-attribute terms: ``single_normal_cn`` and ``single_normal_cm``.
+
+``single_normal_cn`` ("continuous, no missing") models a real attribute
+as a class-conditional Gaussian; ``single_normal_cm`` ("continuous,
+missing") augments it with a per-class Bernoulli presence probability,
+so a class can be characterized by *whether* the attribute tends to be
+recorded as well as by its value — AutoClass's treatment of missing
+reals.
+
+Both use the Normal-Inverse-Gamma prior of
+:class:`repro.models.priors.NormalGammaPrior`, anchored at the global
+data statistics, with the class sigma floored at the attribute's
+declared measurement ``error`` (AutoClass's rule that a class cannot
+out-resolve the instrument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.attributes import RealAttribute
+from repro.data.database import Database
+from repro.models.base import TermModel, TermParams
+from repro.models.priors import LOG_2PI, BetaPrior, NormalGammaPrior
+from repro.models.summary import DataSummary
+
+
+@dataclass(frozen=True)
+class NormalParams(TermParams):
+    """Per-class (mu, sigma) of a Gaussian term."""
+
+    mu: np.ndarray  # (n_classes,)
+    sigma: np.ndarray  # (n_classes,)
+
+
+@dataclass(frozen=True)
+class NormalMissingParams(NormalParams):
+    """Gaussian plus per-class probability that the value is present."""
+
+    p_present: np.ndarray  # (n_classes,)
+
+
+def _gauss_log_pdf(x: np.ndarray, mu: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+    """``(n_items, n_classes)`` Gaussian log density, broadcast over classes."""
+    z = (x[:, None] - mu[None, :]) / sigma[None, :]
+    return -0.5 * (z * z) - np.log(sigma)[None, :] - 0.5 * LOG_2PI
+
+
+class NormalTerm(TermModel):
+    """Real attribute with complete data (AutoClass ``single_normal_cn``)."""
+
+    spec_name = "single_normal_cn"
+
+    #: Statistic layout per class: [sum w, sum w*x, sum w*x^2].
+    _N_STATS = 3
+
+    def __init__(
+        self,
+        attr_index: int,
+        attr: RealAttribute,
+        summary: DataSummary,
+    ) -> None:
+        self._index = int(attr_index)
+        self._attr = attr
+        info = summary.attribute(attr_index)
+        self._prior = NormalGammaPrior.anchored(info.mean, info.var, attr.error)
+
+    @property
+    def attribute_indices(self) -> tuple[int, ...]:
+        return (self._index,)
+
+    @property
+    def n_stats(self) -> int:
+        return self._N_STATS
+
+    @property
+    def prior(self) -> NormalGammaPrior:
+        return self._prior
+
+    def validate(self, db: Database) -> None:
+        attr = db.schema[self._index]
+        if not isinstance(attr, RealAttribute):
+            raise TypeError(f"attribute {self._index} ({attr.name!r}) is not real")
+        if db.missing[self._index].any():
+            raise ValueError(
+                f"attribute {attr.name!r} has missing values; use "
+                "single_normal_cm instead of single_normal_cn"
+            )
+
+    def accumulate_stats(self, db: Database, wts: np.ndarray) -> np.ndarray:
+        x = db.columns[self._index]
+        w = wts.sum(axis=0)
+        wx = x @ wts
+        wxx = np.square(x) @ wts
+        return np.column_stack([w, wx, wxx])
+
+    def map_params(self, stats: np.ndarray) -> NormalParams:
+        mu, sigma = self._prior.map(stats[:, 0], stats[:, 1], stats[:, 2])
+        return NormalParams(n_classes=stats.shape[0], mu=mu, sigma=sigma)
+
+    def log_likelihood(self, db: Database, params: NormalParams) -> np.ndarray:
+        return _gauss_log_pdf(db.columns[self._index], params.mu, params.sigma)
+
+    def log_prior_density(self, params: NormalParams) -> float:
+        return self._prior.log_pdf(params.mu, params.sigma)
+
+    def log_marginal(self, stats: np.ndarray) -> float:
+        return self._prior.log_marginal(stats[:, 0], stats[:, 1], stats[:, 2])
+
+    def n_free_params(self) -> int:
+        return 2
+
+    def influence(
+        self, params: NormalParams, global_params: NormalParams
+    ) -> np.ndarray:
+        """KL(class Gaussian || global Gaussian) per class (closed form)."""
+        mu_g = global_params.mu[0]
+        sg = global_params.sigma[0]
+        var_ratio = (params.sigma / sg) ** 2
+        return 0.5 * (
+            var_ratio + ((params.mu - mu_g) / sg) ** 2 - 1.0 - np.log(var_ratio)
+        )
+
+
+class NormalMissingTerm(TermModel):
+    """Real attribute with missing values (AutoClass ``single_normal_cm``).
+
+    Joint term density: present values contribute
+    ``p_present * N(x | mu, sigma)``, absent cells contribute
+    ``1 - p_present``.
+    """
+
+    spec_name = "single_normal_cm"
+
+    #: Statistic layout per class: [sum w present, sum w*x, sum w*x^2,
+    #: sum w missing].
+    _N_STATS = 4
+
+    def __init__(
+        self,
+        attr_index: int,
+        attr: RealAttribute,
+        summary: DataSummary,
+        *,
+        presence_prior: BetaPrior | None = None,
+    ) -> None:
+        self._index = int(attr_index)
+        self._attr = attr
+        info = summary.attribute(attr_index)
+        self._prior = NormalGammaPrior.anchored(info.mean, info.var, attr.error)
+        self._presence_prior = presence_prior or BetaPrior()
+
+    @property
+    def attribute_indices(self) -> tuple[int, ...]:
+        return (self._index,)
+
+    @property
+    def n_stats(self) -> int:
+        return self._N_STATS
+
+    @property
+    def prior(self) -> NormalGammaPrior:
+        return self._prior
+
+    @property
+    def presence_prior(self) -> BetaPrior:
+        return self._presence_prior
+
+    def validate(self, db: Database) -> None:
+        attr = db.schema[self._index]
+        if not isinstance(attr, RealAttribute):
+            raise TypeError(f"attribute {self._index} ({attr.name!r}) is not real")
+
+    def accumulate_stats(self, db: Database, wts: np.ndarray) -> np.ndarray:
+        x = db.columns[self._index]
+        miss = db.missing[self._index]
+        present = ~miss
+        xp = np.where(present, x, 0.0)  # zero-fill NaNs before the matmuls
+        w_present = present.astype(np.float64) @ wts
+        wx = xp @ wts
+        wxx = np.square(xp) @ wts
+        w_missing = miss.astype(np.float64) @ wts
+        return np.column_stack([w_present, wx, wxx, w_missing])
+
+    def map_params(self, stats: np.ndarray) -> NormalMissingParams:
+        mu, sigma = self._prior.map(stats[:, 0], stats[:, 1], stats[:, 2])
+        p_present = self._presence_prior.map(stats[:, 0], stats[:, 3])
+        return NormalMissingParams(
+            n_classes=stats.shape[0], mu=mu, sigma=sigma, p_present=p_present
+        )
+
+    def log_likelihood(self, db: Database, params: NormalMissingParams) -> np.ndarray:
+        x = db.columns[self._index]
+        miss = db.missing[self._index]
+        xp = np.where(miss, 0.0, x)
+        out = _gauss_log_pdf(xp, params.mu, params.sigma)
+        out += np.log(params.p_present)[None, :]
+        if miss.any():
+            out[miss] = np.log1p(-params.p_present)[None, :]
+        return out
+
+    def log_prior_density(self, params: NormalMissingParams) -> float:
+        return self._prior.log_pdf(params.mu, params.sigma) + self._presence_prior.log_pdf(
+            params.p_present
+        )
+
+    def log_marginal(self, stats: np.ndarray) -> float:
+        return self._prior.log_marginal(
+            stats[:, 0], stats[:, 1], stats[:, 2]
+        ) + self._presence_prior.log_marginal(stats[:, 0], stats[:, 3])
+
+    def n_free_params(self) -> int:
+        return 3
+
+    def influence(
+        self, params: NormalMissingParams, global_params: NormalMissingParams
+    ) -> np.ndarray:
+        """KL of the joint (presence, value) model against the global one."""
+        mu_g = global_params.mu[0]
+        sg = global_params.sigma[0]
+        q_g = float(global_params.p_present[0])
+        var_ratio = (params.sigma / sg) ** 2
+        kl_gauss = 0.5 * (
+            var_ratio + ((params.mu - mu_g) / sg) ** 2 - 1.0 - np.log(var_ratio)
+        )
+        q = params.p_present
+        kl_bern = q * (np.log(q) - np.log(q_g)) + (1 - q) * (
+            np.log1p(-q) - np.log1p(-q_g)
+        )
+        # The Gaussian part only matters when the value is present.
+        return kl_bern + q * kl_gauss

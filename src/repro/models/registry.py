@@ -1,0 +1,209 @@
+"""Model specifications: which term covers which attribute.
+
+A :class:`ModelSpec` is AutoClass's "functional form of the model" T —
+the discrete half of the (T, V) pair the search ranks.  It maps every
+attribute of a schema to exactly one term, validates coverage, and is
+what both the sequential engine and P-AutoClass execute against.
+
+Specs come from three places:
+
+* :meth:`ModelSpec.default_for` — AutoClass's default assignment
+  (normal for reals, picking ``_cm`` when the column has missing cells;
+  multinomial for discretes, modelling "unknown" when present);
+* :func:`parse_model_spec` — AutoClass ``.model``-file style text, e.g.::
+
+      single_normal_cn x0 x1
+      single_multinomial color
+      multi_normal_cn height weight girth
+
+* direct construction from term instances (tests, ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.attributes import AttributeSet, DiscreteAttribute, RealAttribute
+from repro.data.database import Database
+from repro.models.base import TermModel
+from repro.models.ignore import IgnoreTerm
+from repro.models.multinomial import MultinomialTerm
+from repro.models.multinormal import MultiNormalTerm
+from repro.models.normal import NormalMissingTerm, NormalTerm
+from repro.models.summary import DataSummary
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An ordered set of terms covering every attribute exactly once."""
+
+    schema: AttributeSet
+    terms: tuple[TermModel, ...]
+
+    def __post_init__(self) -> None:
+        covered: list[int] = []
+        for term in self.terms:
+            covered.extend(term.attribute_indices)
+        expected = list(range(len(self.schema)))
+        if sorted(covered) != expected:
+            raise ValueError(
+                f"terms cover attributes {sorted(covered)}, "
+                f"schema requires exactly {expected}"
+            )
+
+    # -- construction ----------------------------------------------------
+
+    @staticmethod
+    def default_for(
+        schema: AttributeSet, summary: DataSummary
+    ) -> "ModelSpec":
+        """AutoClass's default model: independent terms per attribute."""
+        terms: list[TermModel] = []
+        for i, attr in enumerate(schema):
+            if isinstance(attr, RealAttribute):
+                if summary.attribute(i).has_missing:
+                    terms.append(NormalMissingTerm(i, attr, summary))
+                else:
+                    terms.append(NormalTerm(i, attr, summary))
+            else:
+                assert isinstance(attr, DiscreteAttribute)
+                terms.append(MultinomialTerm(i, attr, summary))
+        return ModelSpec(schema=schema, terms=tuple(terms))
+
+    # -- aggregate structure ----------------------------------------------
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.terms)
+
+    @property
+    def n_stats(self) -> int:
+        """Total packed sufficient-statistic length per class.
+
+        This is the payload size of P-AutoClass's ``update_parameters``
+        Allreduce (times ``n_classes``).
+        """
+        return sum(t.n_stats for t in self.terms)
+
+    def stat_slices(self) -> tuple[slice, ...]:
+        """Column slice of each term inside the packed stats array."""
+        slices = []
+        offset = 0
+        for term in self.terms:
+            slices.append(slice(offset, offset + term.n_stats))
+            offset += term.n_stats
+        return tuple(slices)
+
+    def n_free_params(self, n_classes: int) -> int:
+        """Continuous parameter count of the full classification model."""
+        per_class = sum(t.n_free_params() for t in self.terms)
+        return n_classes * per_class + (n_classes - 1)
+
+    def validate(self, db: Database) -> None:
+        """Check the spec against a database (types, arity, missing)."""
+        if db.schema is not self.schema and db.schema != self.schema:
+            raise ValueError("database schema does not match the model spec")
+        for term in self.terms:
+            term.validate(db)
+
+    def describe(self) -> str:
+        lines = [f"ModelSpec: {self.n_terms} terms, {self.n_stats} stats/class"]
+        for term in self.terms:
+            names = ", ".join(self.schema[i].name for i in term.attribute_indices)
+            lines.append(f"  {term.spec_name}({names})")
+        return "\n".join(lines)
+
+
+def parse_model_spec(
+    text: str, schema: AttributeSet, summary: DataSummary
+) -> ModelSpec:
+    """Parse AutoClass ``.model``-style lines into a :class:`ModelSpec`.
+
+    One term per line: ``<model_name> <attr> [<attr> ...]``.  Comments
+    (``;`` or ``#``) and blank lines are skipped.  Attributes may be
+    named or given as integer indices.
+    """
+    terms: list[TermModel] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        name, attr_tokens = tokens[0], tokens[1:]
+        if not attr_tokens:
+            raise ValueError(f"line {lineno}: term {name!r} names no attributes")
+        indices = tuple(_resolve(schema, t, lineno) for t in attr_tokens)
+        attrs = tuple(schema[i] for i in indices)
+        if name == "single_normal_cn":
+            _expect_single(name, indices, lineno)
+            _expect_real(attrs[0], name, lineno)
+            terms.append(NormalTerm(indices[0], attrs[0], summary))
+        elif name == "single_normal_cm":
+            _expect_single(name, indices, lineno)
+            _expect_real(attrs[0], name, lineno)
+            terms.append(NormalMissingTerm(indices[0], attrs[0], summary))
+        elif name == "single_multinomial":
+            _expect_single(name, indices, lineno)
+            if not isinstance(attrs[0], DiscreteAttribute):
+                raise ValueError(
+                    f"line {lineno}: {name} needs a discrete attribute, "
+                    f"got {attrs[0].name!r}"
+                )
+            terms.append(MultinomialTerm(indices[0], attrs[0], summary))
+        elif name == "multi_normal_cn":
+            for a in attrs:
+                _expect_real(a, name, lineno)
+            terms.append(MultiNormalTerm(indices, attrs, summary))  # type: ignore[arg-type]
+        elif name == "ignore":
+            for idx in indices:
+                terms.append(IgnoreTerm(idx))
+        else:
+            raise ValueError(f"line {lineno}: unknown model {name!r}")
+    return ModelSpec(schema=schema, terms=tuple(terms))
+
+
+def _resolve(schema: AttributeSet, token: str, lineno: int) -> int:
+    if token.isdigit():
+        idx = int(token)
+        if not 0 <= idx < len(schema):
+            raise ValueError(f"line {lineno}: attribute index {idx} out of range")
+        return idx
+    try:
+        return schema.index(token)
+    except KeyError:
+        raise ValueError(f"line {lineno}: unknown attribute {token!r}") from None
+
+
+def _expect_single(name: str, indices: tuple[int, ...], lineno: int) -> None:
+    if len(indices) != 1:
+        raise ValueError(
+            f"line {lineno}: {name} takes exactly one attribute, got {len(indices)}"
+        )
+
+
+def _expect_real(attr: object, name: str, lineno: int) -> None:
+    if not isinstance(attr, RealAttribute):
+        raise ValueError(f"line {lineno}: {name} needs real attributes")
+
+
+def pack_stats(spec: ModelSpec, per_term: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-term ``(J, n_stats_t)`` arrays into ``(J, n_stats)``.
+
+    The inverse of :func:`unpack_stats`; together they define the exact
+    byte layout of the ``update_parameters`` Allreduce payload.
+    """
+    if len(per_term) != spec.n_terms:
+        raise ValueError(f"{len(per_term)} stat blocks for {spec.n_terms} terms")
+    return np.concatenate(per_term, axis=1)
+
+
+def unpack_stats(spec: ModelSpec, packed: np.ndarray) -> list[np.ndarray]:
+    """Split a packed ``(J, n_stats)`` array back into per-term blocks."""
+    if packed.ndim != 2 or packed.shape[1] != spec.n_stats:
+        raise ValueError(
+            f"packed stats shape {packed.shape} incompatible with "
+            f"spec n_stats {spec.n_stats}"
+        )
+    return [packed[:, sl] for sl in spec.stat_slices()]

@@ -1,0 +1,358 @@
+"""The Communicator contract — the MPI-shaped API P-AutoClass targets.
+
+A :class:`Communicator` is one rank's handle onto an SPMD world.  The
+paper's algorithm needs exactly the operations MPI programs of its era
+used: tagged point-to-point ``send``/``recv`` and the collectives
+``Allreduce`` (its workhorse), ``Bcast``, ``Barrier``, plus
+gather/scatter for tooling.  Backends implement only the point-to-point
+primitives; every collective has a default implementation in
+:mod:`repro.mpc.collectives` built on them, selected per-world by a
+:class:`CollectiveConfig` — which is what makes the collective-algorithm
+ablation (EXP-A2) a configuration change rather than a code change.
+
+Statistics: every rank counts its messages and payload bytes
+(:class:`CommStats`), which the benchmark harness reads to report
+bytes-on-wire per cycle (EXP-A3).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mpc.errors import MessageError
+from repro.mpc.reduceops import ReduceOp
+
+#: Wildcard source for ``recv``.
+ANY_SOURCE = -1
+#: Wildcard tag for ``recv``.
+ANY_TAG = -1
+
+#: Collectives claim tags at and above this value; user point-to-point
+#: code must stay below it.
+COLLECTIVE_TAG_BASE = 1 << 20
+
+
+def payload_nbytes(obj: object) -> int:
+    """Wire size of a payload.
+
+    Arrays are priced at their buffer size (the fast path an MPI code
+    would use); anything else at its pickle length — mirroring mpi4py's
+    split between buffer and object communication.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication accounting."""
+
+    n_sends: int = 0
+    n_recvs: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    n_collectives: int = 0
+    seconds_in_comm: float = 0.0
+
+    def snapshot(self) -> "CommStats":
+        return CommStats(**vars(self))
+
+    def delta(self, earlier: "CommStats") -> "CommStats":
+        """Stats accumulated since ``earlier`` (a prior snapshot)."""
+        return CommStats(
+            n_sends=self.n_sends - earlier.n_sends,
+            n_recvs=self.n_recvs - earlier.n_recvs,
+            bytes_sent=self.bytes_sent - earlier.bytes_sent,
+            bytes_received=self.bytes_received - earlier.bytes_received,
+            n_collectives=self.n_collectives - earlier.n_collectives,
+            seconds_in_comm=self.seconds_in_comm - earlier.seconds_in_comm,
+        )
+
+
+@dataclass(frozen=True)
+class CollectiveConfig:
+    """Which algorithm implements each collective.
+
+    Values name functions in :mod:`repro.mpc.collectives`:
+
+    * ``allreduce``: ``"recursive_doubling"`` (default, log2 P rounds),
+      ``"ring"`` (bandwidth-optimal reduce-scatter + allgather), or
+      ``"reduce_bcast"`` (binomial reduce to root then broadcast);
+    * ``bcast``: ``"binomial"`` or ``"linear"``;
+    * ``barrier``: ``"dissemination"`` or ``"linear"``.
+    """
+
+    allreduce: str = "recursive_doubling"
+    bcast: str = "binomial"
+    barrier: str = "dissemination"
+
+
+class Communicator(ABC):
+    """One rank's endpoint in an SPMD world of ``size`` ranks."""
+
+    def __init__(
+        self, rank: int, size: int, collectives: CollectiveConfig | None = None
+    ) -> None:
+        if size < 1:
+            raise MessageError(f"world size must be >= 1, got {size}")
+        if not 0 <= rank < size:
+            raise MessageError(f"rank {rank} out of range for size {size}")
+        self._rank = rank
+        self._size = size
+        self._collectives = collectives or CollectiveConfig()
+        self._coll_seq = 0
+        self.stats = CommStats()
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def collective_config(self) -> CollectiveConfig:
+        return self._collectives
+
+    def wtime(self) -> float:
+        """Elapsed time in this world's clock (virtual for simulators)."""
+        return time.perf_counter()
+
+    def charge(self, seconds: float) -> None:
+        """Post modelled compute time to this rank's clock.
+
+        A no-op on real-time worlds (their clocks advance by themselves);
+        the virtual-time :class:`repro.simnet.SimComm` overrides it.
+        """
+        if seconds < 0:
+            raise MessageError(f"cannot charge negative time: {seconds}")
+
+    # -- point-to-point (backends implement these) ------------------------
+
+    @abstractmethod
+    def _send_raw(self, obj: object, dest: int, tag: int, nbytes: int) -> None:
+        """Deliver ``obj`` to ``dest``'s mailbox (may buffer)."""
+
+    @abstractmethod
+    def _recv_raw(self, source: int, tag: int) -> tuple[object, int, int, int]:
+        """Block for a matching message; return (obj, source, tag, nbytes)."""
+
+    def send(self, obj: object, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest`` with ``tag`` (buffered, non-rendezvous)."""
+        self._check_peer(dest)
+        self._check_tag(tag, allow_wildcard=False)
+        nbytes = payload_nbytes(obj)
+        t0 = time.perf_counter()
+        self._send_raw(obj, dest, tag, nbytes)
+        self.stats.seconds_in_comm += time.perf_counter() - t0
+        self.stats.n_sends += 1
+        self.stats.bytes_sent += nbytes
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> object:
+        """Receive the next message matching (source, tag); returns the payload."""
+        obj, _src, _tag = self.recv_status(source, tag)
+        return obj
+
+    def recv_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[object, int, int]:
+        """Like :meth:`recv` but also returns ``(payload, source, tag)``."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        self._check_tag(tag, allow_wildcard=True)
+        t0 = time.perf_counter()
+        obj, src, tg, nbytes = self._recv_raw(source, tag)
+        self.stats.seconds_in_comm += time.perf_counter() - t0
+        self.stats.n_recvs += 1
+        self.stats.bytes_received += nbytes
+        return obj, src, tg
+
+    def isend(self, obj: object, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send.  Sends are buffered, so the returned
+        request is already complete; provided for MPI-style symmetry."""
+        self.send(obj, dest, tag)
+        return CompletedRequest()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Request":
+        """Nonblocking receive: matching is deferred to wait()/test()."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        self._check_tag(tag, allow_wildcard=True)
+        return PendingRecv(self, source, tag)
+
+    def _try_recv(self, source: int, tag: int):
+        """Non-blocking matching attempt; returns the payload or None.
+
+        Backends with pollable inboxes override this; the default makes
+        Request.test() unavailable (wait() always works).
+        """
+        raise MessageError(
+            f"{type(self).__name__} does not support nonblocking test(); "
+            "use wait()"
+        )
+
+    # -- collectives (defaults over p2p; see repro.mpc.collectives) -------
+
+    def _next_coll_tag(self) -> int:
+        """A fresh tag block for one collective call.
+
+        All ranks execute collectives in identical program order (SPMD),
+        so the per-rank counters stay in lockstep and successive
+        collectives never share tags.
+        """
+        self._coll_seq += 1
+        self.stats.n_collectives += 1
+        return COLLECTIVE_TAG_BASE + (self._coll_seq << 8)
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        from repro.mpc import collectives
+
+        collectives.run_barrier(self, self._next_coll_tag(), self._collectives.barrier)
+
+    def bcast(self, obj: object, root: int = 0) -> object:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        from repro.mpc import collectives
+
+        self._check_peer(root)
+        return collectives.run_bcast(
+            self, obj, root, self._next_coll_tag(), self._collectives.bcast
+        )
+
+    def reduce(
+        self, payload, op: ReduceOp = ReduceOp.SUM, root: int = 0
+    ):
+        """Reduce to ``root``; returns the result there, ``None`` elsewhere."""
+        from repro.mpc import collectives
+
+        self._check_peer(root)
+        return collectives.reduce_binomial(
+            self, payload, op, root, self._next_coll_tag()
+        )
+
+    def allreduce(self, payload, op: ReduceOp = ReduceOp.SUM):
+        """Reduce across all ranks; every rank returns the full result.
+
+        This is the operation the paper's Figures 4 and 5 hinge on.
+        """
+        from repro.mpc import collectives
+
+        return collectives.run_allreduce(
+            self, payload, op, self._next_coll_tag(), self._collectives.allreduce
+        )
+
+    def gather(self, obj: object, root: int = 0) -> list | None:
+        """Gather one value per rank to ``root`` (rank-ordered list)."""
+        from repro.mpc import collectives
+
+        self._check_peer(root)
+        return collectives.gather_linear(self, obj, root, self._next_coll_tag())
+
+    def allgather(self, obj: object) -> list:
+        """Gather one value per rank onto every rank."""
+        from repro.mpc import collectives
+
+        return collectives.allgather_bruck(self, obj, self._next_coll_tag())
+
+    def scatter(self, objs: list | None, root: int = 0) -> object:
+        """Scatter one value per rank from ``root``."""
+        from repro.mpc import collectives
+
+        self._check_peer(root)
+        return collectives.scatter_linear(self, objs, root, self._next_coll_tag())
+
+    # -- validation --------------------------------------------------------
+
+    def _check_peer(self, rank: int) -> None:
+        if not 0 <= rank < self._size:
+            raise MessageError(f"peer rank {rank} out of range [0, {self._size})")
+
+    @staticmethod
+    def _check_tag(tag: int, *, allow_wildcard: bool) -> None:
+        if tag == ANY_TAG:
+            if not allow_wildcard:
+                raise MessageError("ANY_TAG is only valid on recv")
+            return
+        if tag < 0:
+            raise MessageError(f"tags must be >= 0, got {tag}")
+
+
+# ---------------------------------------------------------------------------
+# Nonblocking point-to-point (MPI isend/irecv style)
+
+class Request:
+    """Handle to a nonblocking operation.
+
+    ``wait()`` blocks until completion and returns the received payload
+    (``None`` for sends); ``test()`` polls without blocking and returns
+    ``(done, payload_or_None)``.  Mirrors mpi4py's lowercase
+    ``isend``/``irecv`` semantics: sends here are buffered, so a send
+    request is complete on creation; a receive request defers the
+    matching until waited or successfully tested.
+    """
+
+    def wait(self):
+        raise NotImplementedError
+
+    def test(self) -> tuple[bool, object]:
+        raise NotImplementedError
+
+
+class CompletedRequest(Request):
+    """An operation that finished eagerly (buffered sends)."""
+
+    def __init__(self, payload=None) -> None:
+        self._payload = payload
+
+    def wait(self):
+        return self._payload
+
+    def test(self) -> tuple[bool, object]:
+        return True, self._payload
+
+
+class PendingRecv(Request):
+    """A deferred receive: matching happens at wait/test time.
+
+    Once completed, further waits return the same payload (MPI requests
+    are single-completion; we keep the payload for convenience).
+    """
+
+    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._payload: object = None
+
+    def wait(self):
+        if not self._done:
+            self._payload = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._payload
+
+    def test(self) -> tuple[bool, object]:
+        if self._done:
+            return True, self._payload
+        hit = self._comm._try_recv(self._source, self._tag)
+        if hit is None:
+            return False, None
+        self._payload = hit
+        self._done = True
+        return True, self._payload
+
+
+def waitall(requests: list[Request]) -> list:
+    """Wait on every request; returns their payloads in order."""
+    return [r.wait() for r in requests]

@@ -1,0 +1,338 @@
+"""Collective algorithms over point-to-point messages.
+
+Each algorithm here is a classic from the MPI implementation literature,
+expressed purely in ``comm.send`` / ``comm.recv`` so that
+
+* every backend (threads, processes, the virtual-time simulator) gets
+  identical collective semantics, and
+* a simulated network prices a collective by the *messages it actually
+  exchanges* — recursive doubling costs its log2(P) rounds, a ring costs
+  its 2(P-1) steps — rather than by a bolted-on closed formula.  The
+  EXP-A2 ablation compares algorithms on exactly this basis.
+
+Tag discipline: the caller passes a fresh ``tag`` block per collective
+call (see ``Communicator._next_coll_tag``); rounds within one call use
+``tag + round`` so nothing can cross-match, even between back-to-back
+collectives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpc.errors import MessageError
+from repro.mpc.reduceops import ReduceOp, combine
+
+
+# ---------------------------------------------------------------------------
+# barrier
+
+def barrier_dissemination(comm, tag: int) -> None:
+    """Dissemination barrier: ceil(log2 P) rounds, each rank sends one
+    token per round to rank ``(rank + 2^k) mod P``."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    k = 0
+    while (1 << k) < size:
+        dist = 1 << k
+        comm.send(None, (rank + dist) % size, tag + k)
+        comm.recv((rank - dist) % size, tag + k)
+        k += 1
+
+
+def barrier_linear(comm, tag: int) -> None:
+    """Central-coordinator barrier: everyone checks in with rank 0, then
+    rank 0 releases everyone.  2(P-1) messages, 2 rounds of latency."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    if rank == 0:
+        for _ in range(size - 1):
+            comm.recv(tag=tag)
+        for peer in range(1, size):
+            comm.send(None, peer, tag + 1)
+    else:
+        comm.send(None, 0, tag)
+        comm.recv(0, tag + 1)
+
+
+_BARRIERS = {
+    "dissemination": barrier_dissemination,
+    "linear": barrier_linear,
+}
+
+
+def run_barrier(comm, tag: int, algorithm: str) -> None:
+    try:
+        impl = _BARRIERS[algorithm]
+    except KeyError:
+        raise MessageError(
+            f"unknown barrier algorithm {algorithm!r}; "
+            f"choose from {sorted(_BARRIERS)}"
+        ) from None
+    impl(comm, tag)
+
+
+# ---------------------------------------------------------------------------
+# broadcast
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    """Virtual rank with the root renumbered to 0."""
+    return (rank - root) % size
+
+
+def _prank(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def bcast_binomial(comm, obj, root: int, tag: int):
+    """Binomial-tree broadcast: ceil(log2 P) rounds.
+
+    Round k: every virtual rank < 2^k that holds the value forwards it
+    to virtual rank + 2^k.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    me = _vrank(rank, root, size)
+    have = me == 0
+    k = 0
+    while (1 << k) < size:
+        dist = 1 << k
+        if have and me + dist < size:
+            comm.send(obj, _prank(me + dist, root, size), tag + k)
+        elif not have and dist <= me < 2 * dist:
+            obj = comm.recv(_prank(me - dist, root, size), tag + k)
+            have = True
+        k += 1
+    return obj
+
+
+def bcast_linear(comm, obj, root: int, tag: int):
+    """Root sends to every other rank directly: P-1 messages, 1 round of
+    latency at the leaves but serialized at the root."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    if rank == root:
+        for peer in range(size):
+            if peer != root:
+                comm.send(obj, peer, tag)
+        return obj
+    return comm.recv(root, tag)
+
+
+_BCASTS = {"binomial": bcast_binomial, "linear": bcast_linear}
+
+
+def run_bcast(comm, obj, root: int, tag: int, algorithm: str):
+    try:
+        impl = _BCASTS[algorithm]
+    except KeyError:
+        raise MessageError(
+            f"unknown bcast algorithm {algorithm!r}; choose from {sorted(_BCASTS)}"
+        ) from None
+    return impl(comm, obj, root, tag)
+
+
+# ---------------------------------------------------------------------------
+# reduce / allreduce
+
+def reduce_binomial(comm, payload, op: ReduceOp, root: int, tag: int):
+    """Binomial-tree reduction to ``root``; ceil(log2 P) rounds.
+
+    Mirror image of the binomial broadcast: in round k every virtual
+    rank whose k-th bit is set sends its partial to virtual rank - 2^k
+    and retires.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return payload if rank == root else None
+    me = _vrank(rank, root, size)
+    acc = payload
+    k = 0
+    alive = True
+    while (1 << k) < size:
+        dist = 1 << k
+        if alive:
+            if me & dist:
+                comm.send(acc, _prank(me - dist, root, size), tag + k)
+                alive = False
+            elif me + dist < size:
+                other = comm.recv(_prank(me + dist, root, size), tag + k)
+                acc = combine(acc, other, op)
+        k += 1
+    return acc if rank == root else None
+
+
+def allreduce_reduce_bcast(comm, payload, op: ReduceOp, tag: int):
+    """Reduce to rank 0 then broadcast: 2 log2 P rounds of full payloads."""
+    acc = reduce_binomial(comm, payload, op, 0, tag)
+    return bcast_binomial(comm, acc, 0, tag + 64)
+
+
+def allreduce_recursive_doubling(comm, payload, op: ReduceOp, tag: int):
+    """Recursive-doubling Allreduce.
+
+    For P a power of two: log2 P rounds of pairwise full-payload
+    exchange at distance 2^k.  For other P, the ``P - 2^m`` surplus
+    ranks first fold into a power-of-two core, which runs the doubling,
+    then the surplus ranks get the result back — the standard MPICH
+    scheme.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return payload
+    pow2 = 1 << (size.bit_length() - 1)
+    if pow2 == size:
+        core_rank, in_core = rank, True
+        rem = 0
+    else:
+        rem = size - pow2
+        # Ranks [0, 2*rem) pair up: odd ones fold into even ones.
+        if rank < 2 * rem:
+            if rank % 2:  # odd: hand partial to the left neighbour, wait
+                comm.send(payload, rank - 1, tag)
+                in_core, core_rank = False, -1
+            else:
+                other = comm.recv(rank + 1, tag)
+                payload = combine(payload, other, op)
+                in_core, core_rank = True, rank // 2
+        else:
+            in_core, core_rank = True, rank - rem
+
+    def core_to_world(cr: int) -> int:
+        return 2 * cr if cr < rem else cr + rem
+
+    if in_core:
+        acc = payload
+        k = 0
+        while (1 << k) < pow2:
+            partner = core_rank ^ (1 << k)
+            partner_world = core_to_world(partner)
+            # Symmetric exchange; deterministic order (lower sends first)
+            # is unnecessary because sends are buffered, but keeps the
+            # message pattern identical on every backend.
+            comm.send(acc, partner_world, tag + 1 + k)
+            other = comm.recv(partner_world, tag + 1 + k)
+            # Combine in a fixed orientation so every rank computes the
+            # bitwise-identical result regardless of arrival order.
+            lo, hi = (acc, other) if core_rank < partner else (other, acc)
+            acc = combine(lo, hi, op)
+            k += 1
+        if rem and core_rank < rem:
+            comm.send(acc, 2 * core_rank + 1, tag + 63)
+        return acc
+    return comm.recv(rank - 1, tag + 63)
+
+
+def allreduce_ring(comm, payload, op: ReduceOp, tag: int):
+    """Ring Allreduce (reduce-scatter + allgather), bandwidth-optimal.
+
+    Requires an ndarray payload; it is flattened into P chunks that
+    travel around the ring twice: P-1 steps combining, P-1 steps
+    distributing.  Total bytes per rank ~ 2 * nbytes, independent of P.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return payload
+    arr = np.asarray(payload)
+    flat = arr.reshape(-1).copy()
+    bounds = np.linspace(0, flat.size, size + 1).astype(int)
+    chunks = [flat[bounds[i] : bounds[i + 1]].copy() for i in range(size)]
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    # Reduce-scatter: after P-1 steps, rank r holds the fully reduced
+    # chunk (r + 1) mod P.
+    for step in range(size - 1):
+        send_idx = (rank - step) % size
+        recv_idx = (rank - step - 1) % size
+        comm.send(chunks[send_idx], right, tag + step)
+        incoming = comm.recv(left, tag + step)
+        chunks[recv_idx] = np.asarray(combine(chunks[recv_idx], incoming, op))
+    # Allgather: circulate the reduced chunks P-1 more steps.
+    for step in range(size - 1):
+        send_idx = (rank - step + 1) % size
+        recv_idx = (rank - step) % size
+        comm.send(chunks[send_idx], right, tag + 128 + step)
+        chunks[recv_idx] = np.asarray(comm.recv(left, tag + 128 + step))
+    out = np.concatenate(chunks) if size > 1 else flat
+    out = out.reshape(arr.shape)
+    if isinstance(payload, np.ndarray):
+        return out
+    return out.item() if out.ndim == 0 else out
+
+
+_ALLREDUCES = {
+    "recursive_doubling": allreduce_recursive_doubling,
+    "ring": allreduce_ring,
+    "reduce_bcast": allreduce_reduce_bcast,
+}
+
+
+def run_allreduce(comm, payload, op: ReduceOp, tag: int, algorithm: str):
+    try:
+        impl = _ALLREDUCES[algorithm]
+    except KeyError:
+        raise MessageError(
+            f"unknown allreduce algorithm {algorithm!r}; "
+            f"choose from {sorted(_ALLREDUCES)}"
+        ) from None
+    return impl(comm, payload, op, tag)
+
+
+# ---------------------------------------------------------------------------
+# gather / allgather / scatter
+
+def gather_linear(comm, obj, root: int, tag: int) -> list | None:
+    """Everyone sends to root; root returns the rank-ordered list."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        out: list = [None] * size
+        out[root] = obj
+        for _ in range(size - 1):
+            payload, src, _tag = comm.recv_status(tag=tag)
+            out[src] = payload
+        return out
+    comm.send(obj, root, tag)
+    return None
+
+
+def allgather_bruck(comm, obj, tag: int) -> list:
+    """Bruck allgather: ceil(log2 P) rounds of doubling block exchange."""
+    size, rank = comm.size, comm.rank
+    blocks: list = [obj]
+    k = 0
+    while (1 << k) < size:
+        dist = 1 << k
+        dest = (rank - dist) % size
+        src = (rank + dist) % size
+        # Send everything held, capped at what the receiver still lacks
+        # (only the final round can be partial).
+        send_count = min(len(blocks), size - len(blocks))
+        comm.send(blocks[:send_count], dest, tag + k)
+        incoming = comm.recv(src, tag + k)
+        blocks.extend(incoming)
+        k += 1
+    blocks = blocks[:size]
+    # blocks[i] is the value of rank (rank + i) mod P; rotate into order.
+    out: list = [None] * size
+    for i, val in enumerate(blocks):
+        out[(rank + i) % size] = val
+    return out
+
+
+def scatter_linear(comm, objs: list | None, root: int, tag: int):
+    """Root sends objs[r] to each rank r; returns the local element."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if objs is None or len(objs) != size:
+            raise MessageError(
+                f"scatter root needs a list of exactly {size} payloads"
+            )
+        for peer in range(size):
+            if peer != root:
+                comm.send(objs[peer], peer, tag)
+        return objs[root]
+    return comm.recv(root, tag)

@@ -1,0 +1,129 @@
+"""The shared-memory point-to-point engine: mailboxes with tag matching.
+
+Used by the thread world and the virtual-time simulator.  Each rank owns
+a :class:`Mailbox`; a send deposits an :class:`Envelope` into the
+destination's mailbox, a recv blocks until an envelope matching
+``(source, tag)`` is present.
+
+Matching follows MPI's non-overtaking rule: among envelopes that match,
+the one that was *sent earliest by its sender* wins (per-sender FIFO),
+with ties between different senders broken by deposit order.  Because
+the collectives always name exact sources, matching is deterministic
+regardless of thread scheduling — the property the simulator's
+reproducibility rests on.
+
+Abort safety: every blocking wait watches the world's abort flag, so one
+crashed rank wakes all its peers with :class:`WorldAborted` instead of a
+deadlock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.mpc.api import ANY_SOURCE, ANY_TAG
+from repro.mpc.errors import WorldAborted
+
+#: How often blocked receivers re-check the abort flag (seconds).
+_WAKE_INTERVAL = 0.05
+
+
+@dataclass
+class Envelope:
+    """One in-flight message."""
+
+    source: int
+    tag: int
+    payload: object
+    nbytes: int
+    send_seq: int  # per-sender sequence number (non-overtaking order)
+    #: Virtual availability time; only the simulator sets this.
+    available_at: float = 0.0
+
+
+@dataclass
+class AbortFlag:
+    """World-wide failure latch shared by all mailboxes."""
+
+    _event: threading.Event = field(default_factory=threading.Event)
+    failed_rank: int = -1
+    reason: str = ""
+
+    def trip(self, rank: int, reason: str) -> None:
+        if not self._event.is_set():
+            self.failed_rank = rank
+            self.reason = reason
+            self._event.set()
+
+    @property
+    def tripped(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        if self._event.is_set():
+            raise WorldAborted(self.failed_rank, self.reason)
+
+
+class Mailbox:
+    """One rank's inbox, shared across sender threads."""
+
+    def __init__(self, owner: int, abort: AbortFlag) -> None:
+        self.owner = owner
+        self._abort = abort
+        self._cond = threading.Condition()
+        self._messages: list[Envelope] = []
+        self._arrival = itertools.count()
+        self._order: list[int] = []  # deposit order, parallel to _messages
+
+    def deposit(self, env: Envelope) -> None:
+        with self._cond:
+            self._messages.append(env)
+            self._order.append(next(self._arrival))
+            self._cond.notify_all()
+
+    def _match_index(self, source: int, tag: int) -> int | None:
+        best: tuple[int, int] | None = None  # (send_seq-ish key, index)
+        for i, env in enumerate(self._messages):
+            if source not in (ANY_SOURCE, env.source):
+                continue
+            if tag not in (ANY_TAG, env.tag):
+                continue
+            key = (env.send_seq, self._order[i]) if source != ANY_SOURCE else (
+                self._order[i],
+                env.send_seq,
+            )
+            if best is None or key < best[0]:
+                best = (key, i)
+        return None if best is None else best[1]
+
+    def collect(self, source: int, tag: int) -> Envelope:
+        """Block until a matching envelope arrives; remove and return it."""
+        with self._cond:
+            while True:
+                self._abort.check()
+                idx = self._match_index(source, tag)
+                if idx is not None:
+                    self._order.pop(idx)
+                    return self._messages.pop(idx)
+                self._cond.wait(timeout=_WAKE_INTERVAL)
+
+    def try_collect(self, source: int, tag: int) -> Envelope | None:
+        """Non-blocking variant of :meth:`collect`."""
+        with self._cond:
+            self._abort.check()
+            idx = self._match_index(source, tag)
+            if idx is None:
+                return None
+            self._order.pop(idx)
+            return self._messages.pop(idx)
+
+    def wake(self) -> None:
+        """Nudge a blocked owner (used when the abort flag trips)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._messages)

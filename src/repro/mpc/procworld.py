@@ -1,0 +1,260 @@
+"""Process-backed SPMD world: real OS processes over pipes.
+
+``run_spmd_processes(fn, size)`` forks ``size`` worker processes wired
+into a full mesh of duplex pipes and runs ``fn(comm, *args)`` on each.
+This is the closest thing to a real multicomputer this host can offer:
+separate address spaces, kernel-mediated message passing, genuine
+serialization costs.  It validates that the SPMD code carries no hidden
+shared-memory assumptions (with threads, an aliasing bug could pass
+silently; with processes it cannot).
+
+Limits, by design: the worker function and its arguments must be
+picklable, and on a 1-core host there is no wall-clock speedup — the
+performance experiments use :mod:`repro.simnet` instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import pickle
+import traceback
+from collections import deque
+from collections.abc import Callable
+from multiprocessing.connection import Connection, wait as conn_wait
+
+from repro.mpc.api import ANY_SOURCE, ANY_TAG, CollectiveConfig, Communicator
+from repro.mpc.errors import MessageError, WorldAborted
+
+#: Seconds between abort-pipe checks while blocked in recv.
+_POLL_INTERVAL = 0.05
+#: Hard cap on blocking with no progress at all (safety net against a
+#: peer that died without tripping the abort pipe).
+_STALL_LIMIT = 120.0
+
+
+class ProcessComm(Communicator):
+    """One rank's endpoint over a mesh of pipes."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        links: dict[int, Connection],
+        abort_rx: Connection,
+        collectives: CollectiveConfig | None = None,
+    ) -> None:
+        super().__init__(rank=rank, size=size, collectives=collectives)
+        self._links = links
+        self._abort_rx = abort_rx
+        self._send_seq = itertools.count()
+        # Messages read off a pipe but not yet matched, per source.
+        self._stash: dict[int, deque[tuple[int, object, int]]] = {
+            peer: deque() for peer in links
+        }
+
+    def _send_raw(self, obj: object, dest: int, tag: int, nbytes: int) -> None:
+        if dest == self.rank:
+            raise MessageError("process world does not support self-sends")
+        self._links[dest].send((tag, obj, next(self._send_seq)))
+
+    def _check_abort(self) -> None:
+        if self._abort_rx.poll(0):
+            failed_rank, reason = self._abort_rx.recv()
+            raise WorldAborted(failed_rank, reason)
+
+    def _try_match(self, source: int, tag: int):
+        sources = self._stash.keys() if source == ANY_SOURCE else (source,)
+        for src in sources:
+            queue = self._stash.get(src)
+            if not queue:
+                continue
+            for i, (msg_tag, obj, _seq) in enumerate(queue):
+                if tag in (ANY_TAG, msg_tag):
+                    del queue[i]
+                    return obj, src, msg_tag
+        return None
+
+    def _recv_raw(self, source: int, tag: int) -> tuple[object, int, int, int]:
+        if source == self.rank:
+            raise MessageError("process world does not support self-receives")
+        stalled = 0.0
+        conn_to_rank = {conn: peer for peer, conn in self._links.items()}
+        while True:
+            hit = self._try_match(source, tag)
+            if hit is not None:
+                obj, src, msg_tag = hit
+                # Size re-measured receiver-side: pipes pickled it anyway.
+                from repro.mpc.api import payload_nbytes
+
+                return obj, src, msg_tag, payload_nbytes(obj)
+            self._check_abort()
+            watch = (
+                list(self._links.values())
+                if source == ANY_SOURCE
+                else [self._links[source]]
+            )
+            ready = conn_wait(watch, timeout=_POLL_INTERVAL)
+            if not ready:
+                stalled += _POLL_INTERVAL
+                if stalled >= _STALL_LIMIT:
+                    raise MessageError(
+                        f"rank {self.rank} stalled {stalled:.0f}s waiting for "
+                        f"(source={source}, tag={tag})"
+                    )
+                continue
+            stalled = 0.0
+            for conn in ready:
+                msg_tag, obj, seq = conn.recv()
+                self._stash[conn_to_rank[conn]].append((msg_tag, obj, seq))
+
+
+def _worker_main(
+    rank: int,
+    size: int,
+    links: dict[int, Connection],
+    abort_rx: Connection,
+    abort_tx: Connection,
+    result_tx: Connection,
+    fn_blob: bytes,
+    args_blob: bytes,
+    collectives: CollectiveConfig | None,
+) -> None:
+    try:
+        fn = pickle.loads(fn_blob)
+        args, kwargs = pickle.loads(args_blob)
+        comm = ProcessComm(rank, size, links, abort_rx, collectives)
+        result = fn(comm, *args, **kwargs)
+        result_tx.send(("ok", result))
+    except WorldAborted as exc:
+        result_tx.send(("aborted", str(exc)))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        detail = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+        try:
+            abort_tx.send((rank, f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+        result_tx.send(("error", detail))
+    finally:
+        result_tx.close()
+        os._exit(0)  # skip atexit/teardown races in forked children
+
+
+def run_spmd_processes(
+    fn: Callable,
+    size: int,
+    *args,
+    collectives: CollectiveConfig | None = None,
+    timeout: float = 600.0,
+    **kwargs,
+) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` forked processes.
+
+    Returns rank-ordered results; raises if any rank failed, with the
+    failing rank's traceback.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    ctx = mp.get_context("fork")
+
+    # Full mesh of duplex pipes.
+    pipes: dict[tuple[int, int], tuple[Connection, Connection]] = {}
+    for a in range(size):
+        for b in range(a + 1, size):
+            pipes[(a, b)] = ctx.Pipe(duplex=True)
+
+    def links_for(rank: int) -> dict[int, Connection]:
+        out: dict[int, Connection] = {}
+        for (a, b), (end_a, end_b) in pipes.items():
+            if a == rank:
+                out[b] = end_a
+            elif b == rank:
+                out[a] = end_b
+        return out
+
+    # Abort fan-out: each child can write (rank, reason) to the parent's
+    # hub; the parent relays it to everyone.
+    abort_to_parent = [ctx.Pipe(duplex=False) for _ in range(size)]
+    abort_to_child = [ctx.Pipe(duplex=False) for _ in range(size)]
+    result_pipes = [ctx.Pipe(duplex=False) for _ in range(size)]
+
+    fn_blob = pickle.dumps(fn)
+    args_blob = pickle.dumps((args, kwargs))
+
+    procs = []
+    for rank in range(size):
+        p = ctx.Process(
+            target=_worker_main,
+            args=(
+                rank,
+                size,
+                links_for(rank),
+                abort_to_child[rank][0],
+                abort_to_parent[rank][1],
+                result_pipes[rank][1],
+                fn_blob,
+                args_blob,
+                collectives,
+            ),
+            name=f"spmd-proc-{rank}",
+        )
+        p.start()
+        procs.append(p)
+
+    results: list = [None] * size
+    status: list[str | None] = [None] * size
+    errors: dict[int, str] = {}
+    pending = set(range(size))
+    deadline = timeout
+
+    import time as _time
+
+    start = _time.monotonic()
+    relayed_abort = False
+    while pending:
+        if _time.monotonic() - start > deadline:
+            for p in procs:
+                p.terminate()
+            raise MessageError(
+                f"process world timed out after {timeout}s; pending ranks {sorted(pending)}"
+            )
+        # Relay any abort notice to all children once.
+        if not relayed_abort:
+            for rank in range(size):
+                rx = abort_to_parent[rank][0]
+                if rx.poll(0):
+                    notice = rx.recv()
+                    for tx_rank in range(size):
+                        try:
+                            abort_to_child[tx_rank][1].send(notice)
+                        except (BrokenPipeError, OSError):
+                            pass
+                    relayed_abort = True
+                    break
+        ready = conn_wait(
+            [result_pipes[r][0] for r in pending], timeout=_POLL_INTERVAL
+        )
+        for conn in ready:
+            rank = next(r for r in pending if result_pipes[r][0] is conn)
+            kind, payload = conn.recv()
+            status[rank] = kind
+            if kind == "ok":
+                results[rank] = payload
+            else:
+                errors[rank] = payload
+            pending.discard(rank)
+
+    for p in procs:
+        p.join(timeout=10)
+        if p.is_alive():
+            p.terminate()
+
+    hard = {r: msg for r, msg in errors.items() if status[r] == "error"}
+    if hard:
+        rank = min(hard)
+        raise RuntimeError(f"SPMD process rank {rank} failed:\n{hard[rank]}")
+    if errors:  # only aborts — the originating error died with its pipe
+        rank = min(errors)
+        raise RuntimeError(f"SPMD world aborted: {errors[rank]}")
+    return results

@@ -1,0 +1,66 @@
+"""Element-wise reduction operators over message payloads.
+
+Reductions operate on numpy arrays (the fast path — P-AutoClass's
+payloads are always float64 vectors) and transparently on Python
+scalars.  The operator is applied pairwise and must be associative and
+commutative; floating-point non-associativity means different collective
+algorithms may differ in the last ulps, which the equivalence tests
+account for with tolerances.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    """The reduction operators the library supports (MPI's core four)."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MIN = "min"
+    MAX = "max"
+
+
+_PAIRWISE = {
+    ReduceOp.SUM: np.add,
+    ReduceOp.PROD: np.multiply,
+    ReduceOp.MIN: np.minimum,
+    ReduceOp.MAX: np.maximum,
+}
+
+
+def combine(a, b, op: ReduceOp):
+    """Pairwise reduce two payloads.
+
+    Arrays must agree in shape; scalars are handled by numpy's
+    broadcasting of 0-d values.  Returns a new array (never mutates the
+    inputs — messages may be aliased by other ranks in thread worlds).
+    """
+    ufunc = _PAIRWISE[op]
+    a_arr = np.asarray(a)
+    b_arr = np.asarray(b)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(
+            f"cannot reduce payloads of shapes {a_arr.shape} and {b_arr.shape}"
+        )
+    out = ufunc(a_arr, b_arr)
+    if np.isscalar(a) or (isinstance(a, (int, float)) and isinstance(b, (int, float))):
+        return out.item()
+    return out
+
+
+def identity_like(payload, op: ReduceOp):
+    """The operator's identity element, shaped like ``payload``."""
+    arr = np.asarray(payload)
+    if op is ReduceOp.SUM:
+        return np.zeros_like(arr)
+    if op is ReduceOp.PROD:
+        return np.ones_like(arr)
+    if op is ReduceOp.MIN:
+        return np.full_like(arr, np.inf if arr.dtype.kind == "f" else np.iinfo(arr.dtype).max)
+    if op is ReduceOp.MAX:
+        return np.full_like(arr, -np.inf if arr.dtype.kind == "f" else np.iinfo(arr.dtype).min)
+    raise ValueError(f"unknown op {op}")

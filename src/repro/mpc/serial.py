@@ -1,0 +1,50 @@
+"""SerialComm — the one-rank world.
+
+Sequential AutoClass *is* P-AutoClass on a world of size 1; giving the
+degenerate world a real implementation lets the parallel driver express
+that identity directly (and lets tests run SPMD code without threads).
+Self-sends are supported with a FIFO queue so collective algorithms that
+happen to message rank 0 from rank 0 still work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.mpc.api import ANY_SOURCE, ANY_TAG, CollectiveConfig, Communicator
+from repro.mpc.errors import MessageError
+
+
+class SerialComm(Communicator):
+    """A world of exactly one rank."""
+
+    def __init__(self, collectives: CollectiveConfig | None = None) -> None:
+        super().__init__(rank=0, size=1, collectives=collectives)
+        self._queue: deque[tuple[object, int, int]] = deque()
+
+    def _send_raw(self, obj: object, dest: int, tag: int, nbytes: int) -> None:
+        # dest is validated to be 0 by the base class.
+        self._queue.append((obj, tag, nbytes))
+
+    def _recv_raw(self, source: int, tag: int) -> tuple[object, int, int, int]:
+        if source not in (ANY_SOURCE, 0):
+            raise MessageError(f"no rank {source} in a serial world")
+        for i, (obj, msg_tag, nbytes) in enumerate(self._queue):
+            if tag in (ANY_TAG, msg_tag):
+                del self._queue[i]
+                return obj, 0, msg_tag, nbytes
+        raise MessageError(
+            "serial recv would deadlock: no buffered message matches "
+            f"(source={source}, tag={tag})"
+        )
+
+    def _try_recv(self, source: int, tag: int):
+        if source not in (ANY_SOURCE, 0):
+            raise MessageError(f"no rank {source} in a serial world")
+        for i, (obj, msg_tag, nbytes) in enumerate(self._queue):
+            if tag in (ANY_TAG, msg_tag):
+                del self._queue[i]
+                self.stats.n_recvs += 1
+                self.stats.bytes_received += nbytes
+                return obj
+        return None

@@ -1,0 +1,42 @@
+"""P-AutoClass — the paper's contribution.
+
+SPMD parallel AutoClass for distributed-memory machines: the dataset is
+block-partitioned over the ranks, the BIG_LOOP control flow is
+replicated, and each ``base_cycle`` performs exactly two Allreduces —
+one for the class weight totals in ``update_wts`` (paper Figure 4), one
+for the packed parameter statistics in ``update_parameters`` (paper
+Figure 5).  Because the engine's steps are already split into
+local/finalize halves, the parallel versions here are *compositions*,
+not re-implementations — the reproduction's guarantee that the parallel
+semantics equal the sequential ones is structural.
+
+Entry points:
+
+* :func:`run_pautoclass` — replicated-input convenience: every rank
+  holds the full database and slices its own block;
+* :func:`run_pautoclass_partitioned` — true distributed form: each rank
+  holds only its block; global summaries are Allreduced at startup;
+* :mod:`repro.parallel.variants` — the wts-only parallelization of
+  Miller & Guo (the paper's §5 comparison), as an ablation baseline.
+"""
+
+from repro.parallel.driver import (
+    run_pautoclass,
+    run_pautoclass_partitioned,
+)
+from repro.parallel.pcycle import ParallelCycleStats, parallel_base_cycle
+from repro.parallel.pparams import parallel_update_parameters
+from repro.parallel.psearch import run_parallel_search
+from repro.parallel.pwts import parallel_update_wts
+from repro.parallel.variants import wts_only_base_cycle
+
+__all__ = [
+    "ParallelCycleStats",
+    "parallel_base_cycle",
+    "parallel_update_parameters",
+    "parallel_update_wts",
+    "run_parallel_search",
+    "run_pautoclass",
+    "run_pautoclass_partitioned",
+    "wts_only_base_cycle",
+]

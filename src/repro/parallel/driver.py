@@ -1,0 +1,80 @@
+"""Top-level P-AutoClass drivers.
+
+Two entry points for two data-placement situations:
+
+* :func:`run_pautoclass` — *replicated input*: every rank is handed the
+  full database (cheap to arrange when data is generated or read from a
+  shared filesystem, as in the paper's experiments) and slices its own
+  block.  All init methods work, including ``"seeded"``.
+* :func:`run_pautoclass_partitioned` — *distributed input*: each rank
+  holds only its block.  The global :class:`~repro.models.summary.
+  DataSummary` (prior anchors, model selection) is reconstructed with
+  one startup Allreduce of additive moments, so no rank ever sees
+  another rank's items — the paper's "does not require to replicate the
+  entire dataset" property.
+
+Both return the same :class:`~repro.engine.search.SearchResult` on every
+rank.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Database
+from repro.data.partition import block_partition
+from repro.engine.search import SearchConfig, SearchResult
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.mpc.api import Communicator
+from repro.mpc.reduceops import ReduceOp
+from repro.parallel.psearch import run_parallel_search
+
+
+def run_pautoclass(
+    comm: Communicator,
+    db: Database,
+    config: SearchConfig | None = None,
+    spec: ModelSpec | None = None,
+) -> SearchResult:
+    """P-AutoClass over a database replicated on every rank."""
+    if spec is None:
+        spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    local_db = block_partition(db, comm.size, comm.rank)
+    return run_parallel_search(
+        comm,
+        local_db,
+        spec,
+        n_total_items=db.n_items,
+        config=config,
+        full_db=db,
+    )
+
+
+def run_pautoclass_partitioned(
+    comm: Communicator,
+    local_db: Database,
+    config: SearchConfig | None = None,
+    spec: ModelSpec | None = None,
+) -> SearchResult:
+    """P-AutoClass where each rank holds only its own block.
+
+    The global data summary is assembled with one Allreduce of additive
+    moment vectors; if ``spec`` is not given, every rank derives the
+    identical default model from that shared summary.
+    """
+    if config is None:
+        # Without the full database on every rank the seeded default is
+        # unavailable; AutoClass's classic random assignment is.
+        config = SearchConfig(init_method="sharp")
+    moments = DataSummary.local_moments(local_db)
+    moments = comm.allreduce(moments, ReduceOp.SUM)
+    summary = DataSummary.from_moments(local_db.schema, moments)
+    if spec is None:
+        spec = ModelSpec.default_for(local_db.schema, summary)
+    return run_parallel_search(
+        comm,
+        local_db,
+        spec,
+        n_total_items=summary.n_items,
+        config=config,
+        full_db=None,
+    )

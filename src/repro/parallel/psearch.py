@@ -1,0 +1,177 @@
+"""The replicated BIG_LOOP of P-AutoClass.
+
+The paper parallelizes only ``base_cycle``; the surrounding search
+control flow (select J, converge a try, eliminate duplicates, pick the
+best) runs *replicated* on every rank.  That is sound because every
+decision the loop takes is a deterministic function of
+
+* the shared seed (J selection, weight initialization), and
+* globally Allreduced scores (convergence, duplicate detection,
+  ranking),
+
+so all ranks take identical branches with zero extra communication.
+This module is the parallel mirror of :mod:`repro.engine.search`,
+re-using its config, duplicate rule, and result types.
+
+Initialization detail: initial weights are drawn for the **full** item
+range from the try's deterministic stream and each rank keeps its
+block's rows.  This costs a transient ``O(N x J)`` array per rank but
+makes the parallel run start from byte-identical state to the
+sequential run — the paper's "same semantics" property, which the
+equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.data.partition import block_partition_array, partition_bounds
+from repro.engine.classification import Classification
+from repro.engine.convergence import ConvergenceChecker
+from repro.engine.init import random_weights
+from repro.engine.params import finalize_parameters, local_update_parameters
+from repro.engine.search import (
+    SearchConfig,
+    SearchResult,
+    TryResult,
+    is_duplicate,
+)
+from repro.models.registry import ModelSpec
+from repro.mpc.api import Communicator
+from repro.mpc.reduceops import ReduceOp
+from repro.util.rng import SeedSequenceStream
+
+
+def parallel_initial_classification(
+    local_db: Database,
+    spec: ModelSpec,
+    n_classes: int,
+    n_total_items: int,
+    rng: np.random.Generator,
+    comm: Communicator,
+    method: str = "dirichlet",
+    full_db: Database | None = None,
+) -> Classification:
+    """Random init replicating the sequential starting state.
+
+    The full-range weight matrix is drawn from ``rng`` (identical on
+    every rank), sliced to this rank's block, and a parallel M-step
+    (one Allreduce) produces the starting parameters.  ``"seeded"``
+    init computes distances against the full database and therefore
+    requires ``full_db`` (available in replicated-input mode).
+    """
+    wts_full = random_weights(
+        n_total_items, n_classes, rng, method=method, db=full_db
+    )
+    lo, hi = partition_bounds(n_total_items, comm.size, comm.rank)
+    if hi - lo != local_db.n_items:
+        raise ValueError(
+            f"rank {comm.rank}: block has {local_db.n_items} items but "
+            f"partition bounds give {hi - lo}"
+        )
+    wts = block_partition_array(wts_full, comm.size, comm.rank).copy()
+    del wts_full
+    local_stats = local_update_parameters(local_db, spec, wts)
+    payload = np.concatenate([wts.sum(axis=0), local_stats.reshape(-1)])
+    payload = np.asarray(comm.allreduce(payload, ReduceOp.SUM))
+    w_j = payload[:n_classes]
+    global_stats = payload[n_classes:].reshape(local_stats.shape)
+    log_pi, term_params = finalize_parameters(
+        spec, global_stats, w_j, n_total_items
+    )
+    return Classification(
+        spec=spec,
+        n_classes=n_classes,
+        log_pi=log_pi,
+        term_params=term_params,
+    )
+
+
+def parallel_converge_try(
+    local_db: Database,
+    clf: Classification,
+    n_total_items: int,
+    comm: Communicator,
+    checker: ConvergenceChecker,
+) -> tuple[Classification, bool]:
+    """Run parallel ``base_cycle`` until the (replicated) checker stops.
+
+    All ranks feed the checker the same globally reduced score, so they
+    stop on the same cycle without voting.
+    """
+    from repro.parallel.pcycle import parallel_base_cycle
+
+    stopped = False
+    while not stopped:
+        clf, _wts, _stats = parallel_base_cycle(
+            local_db, clf, n_total_items, comm
+        )
+        assert clf.scores is not None
+        stopped = checker.update(clf.scores.log_marginal_cs)
+    return clf, not checker.hit_cycle_limit
+
+
+def run_parallel_search(
+    comm: Communicator,
+    local_db: Database,
+    spec: ModelSpec,
+    n_total_items: int,
+    config: SearchConfig | None = None,
+    full_db: Database | None = None,
+) -> SearchResult:
+    """P-AutoClass's BIG_LOOP: replicated control, partitioned data.
+
+    Returns the identical :class:`~repro.engine.search.SearchResult` on
+    every rank.
+    """
+    config = config or SearchConfig()
+    if config.max_seconds is not None:
+        raise ValueError(
+            "max_seconds is a wall-clock budget and would desynchronize "
+            "the replicated control flow; parallel searches use "
+            "max_n_tries instead"
+        )
+    if config.init_method == "seeded" and full_db is None:
+        raise ValueError(
+            "seeded initialization needs the full database on every rank; "
+            "use run_pautoclass (replicated input) or another init_method"
+        )
+    spec.validate(local_db)
+    stream = SeedSequenceStream(config.seed)
+    result = SearchResult(config=config)
+    for k in range(config.max_n_tries):
+        j = config.select_n_classes(k, stream)
+        clf0 = parallel_initial_classification(
+            local_db,
+            spec,
+            j,
+            n_total_items,
+            stream.child("try", k),
+            comm,
+            method=config.init_method,
+            full_db=full_db,
+        )
+        clf, converged = parallel_converge_try(
+            local_db, clf0, n_total_items, comm, config.checker()
+        )
+        duplicate_of = next(
+            (
+                t.try_index
+                for t in result.tries
+                if t.duplicate_of is None
+                and is_duplicate(clf, t.classification, config.duplicate_eps)
+            ),
+            None,
+        )
+        result.tries.append(
+            TryResult(
+                try_index=k,
+                n_classes_requested=j,
+                classification=clf,
+                converged=converged,
+                n_cycles=clf.n_cycles,
+                duplicate_of=duplicate_of,
+            )
+        )
+    return result

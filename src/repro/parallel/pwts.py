@@ -1,0 +1,34 @@
+"""Parallel ``update_wts`` — the paper's Figure 4.
+
+Every rank computes the membership weights of its own block and the
+local per-class totals; one Allreduce sums the ``J + 2`` payload
+(class totals plus the two scoring scalars — see
+:mod:`repro.engine.wts`), and every rank stores the identical global
+values.  The ``(n_local, J)`` weight matrix itself never leaves the
+rank — the whole point of the paper's data decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.engine.classification import Classification
+from repro.engine.wts import WtsReduction, finalize_wts, local_update_wts
+from repro.mpc.api import Communicator
+from repro.mpc.reduceops import ReduceOp
+
+
+def parallel_update_wts(
+    local_db: Database,
+    clf: Classification,
+    comm: Communicator,
+) -> tuple[np.ndarray, WtsReduction]:
+    """E-step over this rank's block + one global Allreduce.
+
+    Returns ``(local_wts, reduction)`` where ``reduction`` holds the
+    *global* class totals and scoring scalars — identical on every rank.
+    """
+    wts, payload = local_update_wts(local_db, clf)
+    payload = comm.allreduce(payload, ReduceOp.SUM)
+    return wts, finalize_wts(payload, clf.n_classes)

@@ -1,0 +1,82 @@
+"""Parallelization variants — the paper's §5 comparison as runnable code.
+
+The only prior MIMD AutoClass the paper knew (Miller & Guo, PCW'97)
+parallelized *only* ``update_wts``; P-AutoClass "exploits parallelism
+also in the parameters computing phase, with a further improvement of
+performance".  :func:`wts_only_base_cycle` implements that prior
+design faithfully so the EXP-A1 ablation can measure the improvement:
+
+* E-step: parallel, as in P-AutoClass (local weights + Allreduce of
+  ``w_j``);
+* M-step: **centralized** — every rank ships its ``(n_local, J)``
+  weight block to rank 0, which computes the parameters over the full
+  dataset sequentially and broadcasts them back.
+
+The gather of the full weight matrix (``8 N J`` bytes per cycle) and
+the unparallelized M-step are exactly the two costs the paper's design
+eliminates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.engine.approx import update_approximations
+from repro.engine.classification import Classification
+from repro.engine.params import finalize_parameters, local_update_parameters
+from repro.mpc.api import Communicator
+from repro.parallel.pcycle import ParallelCycleStats
+from repro.parallel.pwts import parallel_update_wts
+
+
+def wts_only_base_cycle(
+    local_db: Database,
+    full_db: Database,
+    clf: Classification,
+    comm: Communicator,
+) -> tuple[Classification, np.ndarray, ParallelCycleStats]:
+    """One EM cycle with only ``update_wts`` parallelized (Miller & Guo).
+
+    Requires the full database on rank 0 (``full_db``; other ranks may
+    pass the same replicated object — only rank 0 reads it).  Returns
+    the same ``(new_clf, local_wts, stats)`` contract as
+    :func:`repro.parallel.pcycle.parallel_base_cycle`; results are
+    numerically equivalent, only the cost profile differs.
+    """
+    n_total = full_db.n_items
+    bytes0 = comm.stats.bytes_sent
+    t0 = comm.wtime()
+    wts, reduction = parallel_update_wts(local_db, clf, comm)
+    t1 = comm.wtime()
+
+    # Centralized M-step: rank 0 reassembles the full weight matrix.
+    gathered = comm.gather(wts, root=0)
+    if comm.rank == 0:
+        assert gathered is not None
+        full_wts = np.vstack(gathered)
+        global_stats = local_update_parameters(full_db, clf.spec, full_wts)
+        log_pi, term_params = finalize_parameters(
+            clf.spec, global_stats, reduction.w_j, n_total
+        )
+        package = (log_pi, term_params, global_stats)
+    else:
+        package = None
+    log_pi, term_params, global_stats = comm.bcast(package, root=0)
+    new_clf = Classification(
+        spec=clf.spec,
+        n_classes=clf.n_classes,
+        log_pi=log_pi,
+        term_params=term_params,
+        n_cycles=clf.n_cycles,
+    )
+    t2 = comm.wtime()
+    scores = update_approximations(clf, global_stats, reduction, n_total)
+    t3 = comm.wtime()
+    new_clf = new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
+    return new_clf, wts, ParallelCycleStats(
+        seconds_wts=t1 - t0,
+        seconds_params=t2 - t1,
+        seconds_approx=t3 - t2,
+        bytes_sent=comm.stats.bytes_sent - bytes0,
+    )

@@ -1,0 +1,92 @@
+"""Message and collective cost models.
+
+The simulator prices each point-to-point message with the Hockney model
+extended with per-hop latency:
+
+.. math::
+
+    t(src, dst, n) = \\alpha + h(src, dst) \\cdot \\beta_{hop} + n / B
+
+Collectives execute their real message rounds, so their simulated cost
+*emerges*; the closed-form estimators here exist to cross-check the
+emergent costs (a simulator-validation test) and to let the EXP-A2
+ablation report the textbook expectations next to the measured ones.
+No link contention is modelled — the CS-2's fat tree was specifically
+engineered to make that a good approximation at this scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simnet.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Hockney + per-hop message costs for one machine."""
+
+    machine: MachineSpec
+
+    def wire_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Seconds from posting a message to its availability at ``dst``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        m = self.machine
+        if src == dst:
+            return 0.0  # self-sends stay in memory
+        hops = m.topology.hops(src, dst)
+        return m.latency + hops * m.per_hop + nbytes / m.bandwidth
+
+    def reduce_time(self, nbytes: int) -> float:
+        """Compute charged for combining one payload in a reduction."""
+        return nbytes * self.machine.reduce_seconds_per_byte
+
+    # ------------------------------------------------------------------
+    # Closed-form expectations for the collective algorithms (used to
+    # validate the emergent costs and in the EXP-A2 report).
+
+    def _typical(self, nbytes: int) -> float:
+        """Wire time for a typical (mean-hop) route."""
+        m = self.machine
+        return (
+            m.latency + m.topology.mean_hops * m.per_hop + nbytes / m.bandwidth
+        )
+
+    def _round_cost(self, nbytes: int) -> float:
+        """One synchronous pairwise-exchange round of ``nbytes`` payloads."""
+        m = self.machine
+        return m.send_overhead + m.recv_overhead + self._typical(nbytes)
+
+    def expected_allreduce(self, algorithm: str, size: int, nbytes: int) -> float:
+        """Textbook cost of one Allreduce of ``nbytes`` over ``size`` ranks."""
+        if size == 1:
+            return 0.0
+        log2p = math.ceil(math.log2(size))
+        if algorithm == "recursive_doubling":
+            rounds = log2p
+            extra = 0 if size == (1 << (size.bit_length() - 1)) else 2
+            return (rounds + extra) * (
+                self._round_cost(nbytes) + self.reduce_time(nbytes)
+            )
+        if algorithm == "ring":
+            chunk = max(nbytes // size, 1)
+            steps = 2 * (size - 1)
+            return steps * self._round_cost(chunk) + (size - 1) * self.reduce_time(
+                chunk
+            )
+        if algorithm == "reduce_bcast":
+            return 2 * log2p * self._round_cost(nbytes) + log2p * self.reduce_time(
+                nbytes
+            )
+        raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+
+    def expected_barrier(self, algorithm: str, size: int) -> float:
+        if size == 1:
+            return 0.0
+        if algorithm == "dissemination":
+            return math.ceil(math.log2(size)) * self._round_cost(0)
+        if algorithm == "linear":
+            return 2 * self._round_cost(0)
+        raise ValueError(f"unknown barrier algorithm {algorithm!r}")

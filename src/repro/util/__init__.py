@@ -1,0 +1,43 @@
+"""Shared utilities: log-space math, RNG plumbing, validation, formatting.
+
+These helpers are deliberately dependency-light so every other subpackage
+(data, models, engine, mpc, simnet, parallel, harness) can import them
+without cycles.
+"""
+
+from repro.util.metrics import adjusted_rand_index, confusion_matrix, purity
+from repro.util.logspace import (
+    log_normalize_rows,
+    logsumexp,
+    logsumexp_rows,
+    safe_log,
+)
+from repro.util.rng import SeedSequenceStream, spawn_rng
+from repro.util.tables import format_series, format_table
+from repro.util.timefmt import format_hms, parse_hms
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_probability_rows,
+    check_shape,
+)
+
+__all__ = [
+    "SeedSequenceStream",
+    "adjusted_rand_index",
+    "check_in_range",
+    "check_positive",
+    "check_probability_rows",
+    "check_shape",
+    "confusion_matrix",
+    "format_hms",
+    "format_series",
+    "format_table",
+    "log_normalize_rows",
+    "logsumexp",
+    "logsumexp_rows",
+    "parse_hms",
+    "purity",
+    "safe_log",
+    "spawn_rng",
+]

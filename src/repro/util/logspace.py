@@ -1,0 +1,91 @@
+"""Numerically stable log-space primitives.
+
+AutoClass works with per-item, per-class log probabilities that easily
+underflow a float64 (a 100-attribute item can have a log density below
+-2000).  Everything in :mod:`repro.engine` therefore stays in log space
+until weights are normalized, using the shifted-exponential trick
+implemented here.
+
+The implementations are vectorized numpy, no Python-level loops over
+items (see the hpc-parallel guide: the E-step is the hot path and must
+stream through contiguous arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Floor used by :func:`safe_log` for zero entries.  exp(LOG_FLOOR) is a
+#: denormal-free zero surrogate; AutoClass C uses a similar clamp.
+LOG_FLOOR = -745.0
+
+
+def safe_log(x: np.ndarray | float) -> np.ndarray:
+    """Elementwise natural log with zeros mapped to :data:`LOG_FLOOR`.
+
+    Negative inputs raise ``ValueError`` — probabilities must be
+    non-negative, and silently producing NaN here would surface as a
+    baffling divergence many cycles later.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if np.any(arr < 0.0):
+        raise ValueError("safe_log: negative input; probabilities must be >= 0")
+    out = np.full(arr.shape, LOG_FLOOR, dtype=np.float64)
+    np.log(arr, out=out, where=arr > 0.0)
+    return out
+
+
+def logsumexp(a: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+    """Stable ``log(sum(exp(a)))`` along ``axis``.
+
+    Matches ``scipy.special.logsumexp`` for finite inputs but also
+    handles all ``-inf`` slices (returns ``-inf`` rather than NaN).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    amax = np.max(a, axis=axis, keepdims=True)
+    # An all -inf slice would give -inf - -inf = NaN; pin the shift to 0.
+    amax_safe = np.where(np.isfinite(amax), amax, 0.0)
+    with np.errstate(under="ignore"):
+        total = np.sum(np.exp(a - amax_safe), axis=axis, keepdims=True)
+    with np.errstate(divide="ignore"):  # all -inf slices: log(0) intended
+        out = np.log(total) + amax_safe
+    out = np.where(np.isfinite(amax), out, amax)
+    if axis is None:
+        return float(out.reshape(()))
+    return np.squeeze(out, axis=axis)
+
+
+def logsumexp_rows(log_p: np.ndarray) -> np.ndarray:
+    """Row-wise logsumexp for a 2-D ``(n_items, n_classes)`` array."""
+    if log_p.ndim != 2:
+        raise ValueError(f"logsumexp_rows expects 2-D input, got {log_p.ndim}-D")
+    return np.asarray(logsumexp(log_p, axis=1))
+
+
+def log_normalize_rows(log_p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize each row of log probabilities.
+
+    Returns ``(weights, log_row_sums)`` where ``weights[i, j] =
+    exp(log_p[i, j] - logsumexp(log_p[i, :]))`` — exactly the AutoClass
+    weight formula ``w_ij = L_ij / sum_j L_ij`` computed stably.  The row
+    sums are returned too because AutoClass accumulates them into the
+    data log likelihood.
+    """
+    log_z = logsumexp_rows(log_p)
+    with np.errstate(under="ignore", invalid="ignore"):  # -inf - -inf rows
+        weights = np.exp(log_p - log_z[:, None])
+    # Rows that were all -inf normalize to uniform rather than NaN: the
+    # item carries no information under any class, which is what a
+    # zero-density row means after clamping.
+    bad = ~np.isfinite(log_z)
+    if np.any(bad):
+        weights[bad] = 1.0 / log_p.shape[1]
+    return weights, log_z
+
+
+def log_dirichlet_norm(alpha: np.ndarray) -> float:
+    """Log normalization constant of a Dirichlet: ``log B(alpha)``."""
+    from scipy.special import gammaln
+
+    alpha = np.asarray(alpha, dtype=np.float64)
+    return float(np.sum(gammaln(alpha)) - gammaln(np.sum(alpha)))

@@ -1,0 +1,81 @@
+"""Clustering-evaluation metrics.
+
+Unsupervised classifications are evaluated against a reference labeling
+(ground truth in synthetic studies, another classification in stability
+studies).  All metrics are label-permutation invariant — cluster ids
+carry no meaning.
+
+* :func:`confusion_matrix` — raw cross-tabulation;
+* :func:`purity` — fraction of items in their cluster's majority class;
+* :func:`adjusted_rand_index` — chance-corrected pair-counting agreement
+  (Hubert & Arabie 1985); 1 = identical partitions, ~0 = random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(labels_a: np.ndarray, labels_b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(labels_a).ravel()
+    b = np.asarray(labels_b).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"label arrays differ in length: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("label arrays must not be empty")
+    return a, b
+
+
+def confusion_matrix(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    """Cross-tabulation ``C[i, j] = #{items with a == i and b == j}``.
+
+    Rows/columns are indexed by the *sorted distinct* labels of each
+    array (labels need not be dense integers).
+    """
+    a, b = _validate(labels_a, labels_b)
+    a_values, a_idx = np.unique(a, return_inverse=True)
+    b_values, b_idx = np.unique(b, return_inverse=True)
+    out = np.zeros((len(a_values), len(b_values)), dtype=np.int64)
+    np.add.at(out, (a_idx, b_idx), 1)
+    return out
+
+
+def purity(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of items falling in their predicted cluster's majority
+    true class.  In [0, 1]; 1 iff every cluster is class-pure.
+
+    Not symmetric (predicting one cluster per item trivially maximizes
+    the reverse direction); use :func:`adjusted_rand_index` for a
+    symmetric, chance-corrected score.
+    """
+    table = confusion_matrix(predicted, truth)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Hubert & Arabie's adjusted Rand index.
+
+    ``(RI - E[RI]) / (max RI - E[RI])`` over item pairs.  Symmetric,
+    1 for identical partitions (up to relabeling), ~0 in expectation
+    for independent random partitions, can be negative for adversarial
+    disagreement.
+    """
+    table = confusion_matrix(labels_a, labels_b).astype(np.float64)
+    n = table.sum()
+    if n < 2:
+        raise ValueError("adjusted Rand index needs at least 2 items")
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1.0) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    total = comb2(np.array(n))
+    expected = sum_rows * sum_cols / total
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        # Both partitions are single-cluster (or all-singletons): the
+        # index is degenerate; identical partitions score 1 by convention.
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))

@@ -1,0 +1,67 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component (synthetic data, weight initialization, the
+BIG_LOOP's choice of class counts) draws from a generator spawned off a
+single seed so that
+
+* a sequential run and a parallel run of the same experiment see the
+  *identical* random stream where the paper requires identical semantics
+  (initial weights are generated for the full dataset, then partitioned);
+* SPMD ranks that must make replicated pseudo-random decisions (e.g. the
+  search's choice of the next J) spawn the *same* child stream on every
+  rank instead of communicating the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def spawn_rng(seed: int | np.random.Generator | None, *key: int) -> np.random.Generator:
+    """Return a Generator for (seed, \\*key).
+
+    ``key`` namespaces independent streams: ``spawn_rng(s, 1)`` and
+    ``spawn_rng(s, 2)`` are statistically independent, and the same
+    ``(seed, key)`` always yields the same stream.  Passing an existing
+    Generator returns it unchanged (key must then be empty).
+    """
+    if isinstance(seed, np.random.Generator):
+        if key:
+            raise ValueError("cannot re-key an existing Generator; pass a seed int")
+        return seed
+    ss = np.random.SeedSequence(seed, spawn_key=tuple(key))
+    return np.random.default_rng(ss)
+
+
+@dataclass
+class SeedSequenceStream:
+    """A counter-based factory of named child generators.
+
+    Used by the search loop: each classification try gets
+    ``stream.child("try", k)`` so that re-running try ``k`` in isolation
+    reproduces exactly the same initialization the full search saw.
+    """
+
+    seed: int
+    _cache: dict[tuple, np.random.Generator] = field(default_factory=dict, repr=False)
+
+    def child(self, *key: int | str) -> np.random.Generator:
+        """Deterministic child generator for a hashable key path."""
+        norm = tuple(_key_to_int(k) for k in key)
+        if norm not in self._cache:
+            self._cache[norm] = spawn_rng(self.seed, *norm)
+        return self._cache[norm]
+
+
+def _key_to_int(k: int | str) -> int:
+    if isinstance(k, int):
+        if k < 0:
+            raise ValueError("stream keys must be non-negative")
+        return k
+    # Stable, platform-independent string hash (FNV-1a, 32-bit).
+    h = 2166136261
+    for byte in k.encode("utf-8"):
+        h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+    return h

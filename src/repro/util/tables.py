@@ -1,0 +1,73 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's figures plot; these
+formatters keep that output aligned and diff-friendly (fixed column
+widths, no locale-dependent number formatting).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are formatted with ``str`` by the caller (so the caller
+    controls precision); this function only aligns.
+    """
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as labelled ``x y`` pairs.
+
+    Example::
+
+        series speedup[10000 tuples]  (no. of processors -> T1/Tp)
+          1  1.000
+          2  1.94
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name}: {len(xs)} xs vs {len(ys)} ys")
+    lines = [f"series {name}  ({x_label} -> {y_label})"]
+    xw = max((len(_cell(x)) for x in xs), default=1)
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_cell(x).rjust(xw)}  {_cell(y)}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,36 @@
+"""Elapsed-time formatting in the paper's ``h.mm.ss`` style.
+
+Figure 6 of the paper labels its y-axis "average times [h.mm.ss]"; the
+harness prints measured rows the same way so the output can be read
+against the figure directly.
+"""
+
+from __future__ import annotations
+
+
+def format_hms(seconds: float) -> str:
+    """Render seconds as ``h.mm.ss`` (paper's Fig. 6 axis format).
+
+    Sub-minute times keep two decimals on the seconds field so the
+    scaleup numbers (0.1–0.8 s per cycle) stay readable.
+    """
+    if seconds < 0:
+        raise ValueError(f"elapsed time cannot be negative: {seconds}")
+    if seconds < 60:
+        return f"0.00.{seconds:05.2f}"
+    total = int(round(seconds))
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}.{m:02d}.{s:02d}"
+
+
+def parse_hms(text: str) -> float:
+    """Inverse of :func:`format_hms`; returns seconds."""
+    parts = text.split(".")
+    if len(parts) == 4:  # 0.00.SS.ss  (sub-minute form)
+        h, m, s, frac = parts
+        return int(h) * 3600 + int(m) * 60 + int(s) + float("0." + frac)
+    if len(parts) == 3:
+        h, m, s = parts
+        return int(h) * 3600 + int(m) * 60 + float(s)
+    raise ValueError(f"not an h.mm.ss time: {text!r}")

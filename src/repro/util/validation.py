@@ -1,0 +1,54 @@
+"""Small argument-validation helpers.
+
+Public API entry points validate eagerly and raise with the offending
+value in the message; internal hot loops (the E/M kernels) do not
+re-validate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float | int, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(
+    name: str, value: float, lo: float, hi: float, *, inclusive: bool = True
+) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi`` (or strict)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bounds = "[{}, {}]" if inclusive else "({}, {})"
+        raise ValueError(f"{name} must be in {bounds.format(lo, hi)}, got {value!r}")
+
+
+def check_shape(name: str, arr: np.ndarray, shape: tuple[int | None, ...]) -> None:
+    """Raise ``ValueError`` unless ``arr.shape`` matches ``shape``.
+
+    ``None`` entries are wildcards: ``check_shape("w", w, (None, 4))``
+    accepts any row count but exactly 4 columns.
+    """
+    actual = np.shape(arr)
+    if len(actual) != len(shape) or any(
+        want is not None and got != want for got, want in zip(actual, shape)
+    ):
+        raise ValueError(f"{name} must have shape {shape}, got {actual}")
+
+
+def check_probability_rows(name: str, arr: np.ndarray, *, atol: float = 1e-8) -> None:
+    """Raise ``ValueError`` unless every row of ``arr`` is a distribution."""
+    arr = np.asarray(arr)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got {arr.ndim}-D")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} has negative entries (min={arr.min()})")
+    sums = arr.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=atol):
+        worst = float(np.abs(sums - 1.0).max())
+        raise ValueError(f"{name} rows must sum to 1 (worst deviation {worst:.3e})")

@@ -1,0 +1,52 @@
+"""Work hooks: kernels announce their work, backends may price it.
+
+The engine's local kernels (E-step, M-step, approximations) call
+:func:`report` at entry with their work units.  By default this is a
+no-op costing one thread-local attribute read; the virtual-time
+simulator installs a hook per rank thread (its ranks *are* threads)
+that converts the units into modelled compute charges — the "counted"
+compute mode of :mod:`repro.simnet.simworld`.
+
+This inversion keeps the algorithm code free of any timing logic while
+letting the simulator price exactly the work the algorithm actually
+performs — including asymmetric cases like the wts-only ablation, where
+rank 0's M-step runs over the *full* dataset and is automatically
+charged accordingly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from contextlib import contextmanager
+
+#: hook(kind, n_items, n_classes, n_stats) -> None
+WorkHook = Callable[[str, int, int, int], None]
+
+_tls = threading.local()
+
+#: Kinds reported by the engine kernels.
+KINDS = ("wts", "params", "approx")
+
+
+def report(kind: str, n_items: int, n_classes: int, n_stats: int) -> None:
+    """Announce one kernel invocation's work (no-op unless hooked)."""
+    hook: WorkHook | None = getattr(_tls, "hook", None)
+    if hook is not None:
+        hook(kind, n_items, n_classes, n_stats)
+
+
+@contextmanager
+def installed(hook: WorkHook):
+    """Install ``hook`` for the current thread for the duration."""
+    previous = getattr(_tls, "hook", None)
+    _tls.hook = hook
+    try:
+        yield
+    finally:
+        _tls.hook = previous
+
+
+def current_hook() -> WorkHook | None:
+    """The hook installed on this thread, if any (for tests)."""
+    return getattr(_tls, "hook", None)

@@ -1,0 +1,125 @@
+"""Tests for the parallel k-means baseline."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import kmeans, parallel_kmeans
+from repro.data.partition import block_partition
+from repro.data.synth import make_mixed_database, make_separable_blobs
+from repro.mpc.threadworld import run_spmd_threads
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_separable_blobs(900, 3, 2, seed=42)
+
+
+class TestSequential:
+    def test_recovers_blobs(self, blobs):
+        db, labels = blobs
+        result = kmeans(db, 3, seed=1)
+        assert result.converged
+        purity = sum(
+            Counter(labels[result.labels == j]).most_common(1)[0][1]
+            for j in np.unique(result.labels)
+        ) / len(labels)
+        assert purity > 0.97
+
+    def test_inertia_decreases_with_k(self, blobs):
+        db, _ = blobs
+        inertias = [kmeans(db, k, seed=1).inertia for k in (1, 2, 3, 5)]
+        assert all(b < a for a, b in zip(inertias, inertias[1:]))
+
+    def test_deterministic(self, blobs):
+        db, _ = blobs
+        a = kmeans(db, 3, seed=7)
+        b = kmeans(db, 3, seed=7)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+        assert a.inertia == b.inertia
+
+    def test_k_equals_one(self, blobs):
+        db, _ = blobs
+        result = kmeans(db, 1, seed=0)
+        np.testing.assert_allclose(
+            result.centroids[0], db.real_matrix().mean(axis=0), rtol=1e-9
+        )
+
+    def test_validation(self, blobs):
+        db, _ = blobs
+        with pytest.raises(ValueError):
+            kmeans(db, 0)
+
+    def test_missing_values_rejected(self):
+        db, _ = make_mixed_database(50, missing_rate=0.2, seed=1)
+        with pytest.raises(ValueError, match="missing"):
+            kmeans(db, 2)
+
+    def test_discrete_only_rejected(self):
+        db, _ = make_mixed_database(50, n_real=0, n_discrete=2, seed=1)
+        with pytest.raises(ValueError, match="real attribute"):
+            kmeans(db, 2)
+
+
+class TestParallel:
+    @pytest.mark.parametrize("n_procs", [2, 3, 5, 8])
+    def test_matches_sequential(self, blobs, n_procs):
+        """Same semantics for any processor count — the property the
+        whole SPMD pattern (k-means and P-AutoClass alike) rests on."""
+        db, _ = blobs
+        seq = kmeans(db, 3, seed=5)
+
+        def prog(comm):
+            local = block_partition(db, comm.size, comm.rank)
+            return parallel_kmeans(comm, local, 3, full_db=db, seed=5)
+
+        results = run_spmd_threads(prog, n_procs)
+        for r in results:
+            np.testing.assert_allclose(r.centroids, seq.centroids, rtol=1e-9)
+            assert r.inertia == pytest.approx(seq.inertia, rel=1e-9)
+            assert r.n_iter == seq.n_iter
+
+    def test_labels_cover_partition(self, blobs):
+        db, _ = blobs
+
+        def prog(comm):
+            local = block_partition(db, comm.size, comm.rank)
+            return parallel_kmeans(comm, local, 3, full_db=db, seed=5).labels
+
+        results = run_spmd_threads(prog, 4)
+        assert sum(len(r) for r in results) == db.n_items
+
+    def test_bcast_seeding_without_full_db(self, blobs):
+        """Rank-0 seeding + broadcast also agrees across ranks."""
+        db, _ = blobs
+
+        def prog(comm):
+            local = block_partition(db, comm.size, comm.rank)
+            return parallel_kmeans(comm, local, 3, seed=5)
+
+        results = run_spmd_threads(prog, 3)
+        for r in results[1:]:
+            np.testing.assert_array_equal(r.centroids, results[0].centroids)
+
+    def test_empty_cluster_keeps_centroid(self):
+        """A centroid that captures no items must not produce NaNs."""
+        db, _ = make_separable_blobs(30, 2, 2, seed=3)
+        result = kmeans(db, 10, seed=2)  # more clusters than structure
+        assert np.isfinite(result.centroids).all()
+
+    def test_on_simulated_machine(self, blobs):
+        """K-means runs on the virtual-time world too (EXP-B1's setup)."""
+        from repro.simnet.machine import meiko_cs2
+        from repro.simnet.simworld import run_spmd_sim
+
+        db, _ = blobs
+
+        def prog(comm):
+            local = block_partition(db, comm.size, comm.rank)
+            return parallel_kmeans(comm, local, 3, full_db=db, seed=5).inertia
+
+        run = run_spmd_sim(prog, 4, meiko_cs2(4), compute_mode="counted")
+        seq = kmeans(db, 3, seed=5)
+        assert all(r == pytest.approx(seq.inertia, rel=1e-9) for r in run.results)
+        assert run.elapsed > 0

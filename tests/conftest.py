@@ -1,0 +1,67 @@
+"""Shared fixtures: small deterministic databases and specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import AttributeSet, DiscreteAttribute, RealAttribute
+from repro.data.database import Database
+from repro.data.synth import make_mixed_database, make_paper_database
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+
+
+@pytest.fixture(scope="session")
+def paper_db() -> Database:
+    """1 000 tuples of the paper's 2-real-attribute workload."""
+    return make_paper_database(1_000, seed=101)
+
+
+@pytest.fixture(scope="session")
+def paper_spec(paper_db) -> ModelSpec:
+    return ModelSpec.default_for(
+        paper_db.schema, DataSummary.from_database(paper_db)
+    )
+
+
+@pytest.fixture(scope="session")
+def mixed_db() -> Database:
+    """Mixed real/discrete database with missing cells."""
+    db, _labels = make_mixed_database(
+        400, n_clusters=3, n_real=2, n_discrete=2, arity=4,
+        missing_rate=0.1, seed=202,
+    )
+    return db
+
+
+@pytest.fixture(scope="session")
+def mixed_spec(mixed_db) -> ModelSpec:
+    return ModelSpec.default_for(
+        mixed_db.schema, DataSummary.from_database(mixed_db)
+    )
+
+
+@pytest.fixture()
+def tiny_db() -> Database:
+    """A hand-written 6-item database (2 real + 1 discrete, has missing)."""
+    schema = AttributeSet((
+        RealAttribute("x", error=0.1),
+        RealAttribute("y", error=0.1),
+        DiscreteAttribute("c", arity=3, symbols=("a", "b", "z")),
+    ))
+    return Database.from_columns(
+        schema,
+        [
+            np.array([0.0, 1.0, 2.0, np.nan, 4.0, 5.0]),
+            np.array([5.0, 4.0, 3.0, 2.0, 1.0, 0.0]),
+            np.array([0, 1, 2, 0, -1, 1]),
+        ],
+    )
+
+
+def random_wts(n_items: int, n_classes: int, seed: int = 0) -> np.ndarray:
+    """Dirichlet membership rows for tests."""
+    return np.random.default_rng(seed).dirichlet(
+        np.ones(n_classes), size=n_items
+    )

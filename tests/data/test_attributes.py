@@ -1,0 +1,82 @@
+"""Tests for repro.data.attributes."""
+
+import pytest
+
+from repro.data.attributes import AttributeSet, DiscreteAttribute, RealAttribute
+
+
+class TestRealAttribute:
+    def test_kind(self):
+        assert RealAttribute("x").kind == "real"
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            RealAttribute("")
+
+    def test_nonpositive_error_raises(self):
+        with pytest.raises(ValueError, match="error"):
+            RealAttribute("x", error=0.0)
+
+    def test_frozen(self):
+        a = RealAttribute("x")
+        with pytest.raises(AttributeError):
+            a.error = 2.0  # type: ignore[misc]
+
+
+class TestDiscreteAttribute:
+    def test_kind_and_symbols(self):
+        a = DiscreteAttribute("c", arity=3, symbols=("r", "g", "b"))
+        assert a.kind == "discrete"
+        assert a.symbol(1) == "g"
+
+    def test_symbol_without_names_falls_back_to_code(self):
+        assert DiscreteAttribute("c", arity=2).symbol(1) == "1"
+
+    def test_symbol_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DiscreteAttribute("c", arity=2).symbol(2)
+
+    def test_arity_too_small(self):
+        with pytest.raises(ValueError, match="arity"):
+            DiscreteAttribute("c", arity=1)
+
+    def test_symbol_count_mismatch(self):
+        with pytest.raises(ValueError, match="symbols"):
+            DiscreteAttribute("c", arity=3, symbols=("a",))
+
+
+class TestAttributeSet:
+    def make(self):
+        return AttributeSet((
+            RealAttribute("x"),
+            DiscreteAttribute("c", arity=2),
+            RealAttribute("y"),
+        ))
+
+    def test_len_iter_getitem(self):
+        s = self.make()
+        assert len(s) == 3
+        assert [a.name for a in s] == ["x", "c", "y"]
+        assert s[0].name == "x"
+        assert s["y"].name == "y"
+
+    def test_index_lookup(self):
+        assert self.make().index("c") == 1
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="nope"):
+            self.make().index("nope")
+        with pytest.raises(KeyError):
+            self.make()["nope"]
+
+    def test_kind_indices(self):
+        s = self.make()
+        assert s.real_indices == (0, 2)
+        assert s.discrete_indices == (1,)
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AttributeSet((RealAttribute("x"), RealAttribute("x")))
+
+    def test_names_property(self):
+        assert self.make().names == ("x", "c", "y")

@@ -1,0 +1,191 @@
+"""Tests for repro.data.database."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import AttributeSet, DiscreteAttribute, RealAttribute
+from repro.data.database import Database
+
+
+def make_schema():
+    return AttributeSet((
+        RealAttribute("x", error=0.5),
+        DiscreteAttribute("c", arity=3),
+    ))
+
+
+class TestFromColumns:
+    def test_basic_construction(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0, 2.0]), np.array([0, 2])]
+        )
+        assert db.n_items == 2
+        assert db.n_attributes == 2
+        assert len(db) == 2
+
+    def test_nan_marks_real_missing(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0, np.nan]), np.array([0, 1])]
+        )
+        assert db.missing_mask("x").tolist() == [False, True]
+        assert db.n_missing() == 1
+
+    def test_negative_marks_discrete_missing(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0, 2.0]), np.array([-1, 2])]
+        )
+        assert db.missing_mask("c").tolist() == [True, False]
+        assert db.column("c")[0] == -1
+
+    def test_float_discrete_codes_accepted_when_integral(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0, 2.0]), np.array([0.0, 2.0])]
+        )
+        assert db.column("c").dtype == np.int64
+
+    def test_fractional_discrete_codes_rejected(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            Database.from_columns(
+                make_schema(), [np.array([1.0, 2.0]), np.array([0.5, 1.0])]
+            )
+
+    def test_code_above_arity_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            Database.from_columns(
+                make_schema(), [np.array([1.0]), np.array([3])]
+            )
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Database.from_columns(
+                make_schema(), [np.array([1.0, 2.0]), np.array([0])]
+            )
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            Database.from_columns(make_schema(), [np.array([1.0])])
+
+    def test_columns_read_only(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0]), np.array([0])]
+        )
+        with pytest.raises(ValueError):
+            db.column("x")[0] = 5.0
+
+
+class TestTake:
+    def make_db(self):
+        return Database.from_columns(
+            make_schema(),
+            [np.arange(10, dtype=float), np.arange(10) % 3],
+        )
+
+    def test_slice_is_view(self):
+        db = self.make_db()
+        sub = db.take(slice(2, 5))
+        assert sub.n_items == 3
+        assert sub.column("x").base is not None  # view, not copy
+
+    def test_slice_content(self):
+        sub = self.make_db().take(slice(2, 5))
+        np.testing.assert_array_equal(sub.column("x"), [2.0, 3.0, 4.0])
+
+    def test_fancy_index(self):
+        sub = self.make_db().take(np.array([0, 9]))
+        np.testing.assert_array_equal(sub.column("x"), [0.0, 9.0])
+
+    def test_schema_shared(self):
+        db = self.make_db()
+        assert db.take(slice(0, 1)).schema is db.schema
+
+
+class TestStats:
+    def test_global_real_stats(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0, 3.0, np.nan]), np.array([0, 1, 2])]
+        )
+        mean, var = db.global_real_stats("x")
+        assert mean == pytest.approx(2.0)
+        assert var == pytest.approx(1.0)
+
+    def test_variance_floor_for_constant_column(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([2.0, 2.0]), np.array([0, 1])]
+        )
+        _, var = db.global_real_stats("x")
+        assert var == pytest.approx(0.25)  # error^2 = 0.5^2
+
+    def test_stats_on_discrete_raises(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0]), np.array([0])]
+        )
+        with pytest.raises(TypeError, match="not real"):
+            db.global_real_stats("c")
+
+    def test_all_missing_column(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([np.nan, np.nan]), np.array([0, 1])]
+        )
+        mean, var = db.global_real_stats("x")
+        assert mean == 0.0 and var == pytest.approx(0.25)
+
+
+class TestConvenience:
+    def test_real_matrix(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0, 2.0]), np.array([0, 1])]
+        )
+        m = db.real_matrix()
+        assert m.shape == (2, 1)
+
+    def test_describe_mentions_attributes(self):
+        db = Database.from_columns(
+            make_schema(), [np.array([1.0]), np.array([-1])]
+        )
+        text = db.describe()
+        assert "'x'" in text and "'c'" in text and "missing=1" in text
+
+
+class TestFromRealArray:
+    def test_default_names(self):
+        import numpy as _np
+
+        db = Database.from_real_array(_np.arange(6.0).reshape(3, 2))
+        assert db.schema.names == ("x0", "x1")
+        assert db.n_items == 3
+
+    def test_custom_names_and_error(self):
+        import numpy as _np
+
+        db = Database.from_real_array(
+            _np.zeros((2, 2)), names=("a", "b"), error=0.5
+        )
+        assert db.schema["a"].error == 0.5
+
+    def test_nan_becomes_missing(self):
+        import numpy as _np
+
+        x = _np.array([[1.0, _np.nan], [2.0, 3.0]])
+        db = Database.from_real_array(x)
+        assert db.n_missing() == 1
+
+    def test_validation(self):
+        import numpy as _np
+
+        with pytest.raises(ValueError, match="2-D"):
+            Database.from_real_array(_np.zeros(3))
+        with pytest.raises(ValueError, match="names"):
+            Database.from_real_array(_np.zeros((2, 3)), names=("a",))
+
+    def test_fit_integration(self):
+        """The convenience path feeds the classifier directly."""
+        import numpy as _np
+
+        from repro import AutoClass
+
+        rng = _np.random.default_rng(0)
+        x = _np.vstack([rng.normal(0, 1, (60, 2)), rng.normal(8, 1, (60, 2))])
+        db = Database.from_real_array(x)
+        ac = AutoClass(start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=30)
+        ac.fit(db)
+        assert ac.best_.scores.n_populated == 2

@@ -1,0 +1,206 @@
+"""Tests for repro.data.io (.hd2/.db2 round-trips and error paths)."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import AttributeSet, DiscreteAttribute, RealAttribute
+from repro.data.database import Database
+from repro.data.io import (
+    DataFormatError,
+    HeaderFormatError,
+    load_database,
+    read_data,
+    read_header,
+    save_database,
+    write_data,
+    write_header,
+)
+from repro.data.synth import make_mixed_database, make_paper_database
+
+
+def schema_full():
+    return AttributeSet((
+        RealAttribute("x", error=0.25),
+        DiscreteAttribute("color", arity=3, symbols=("red", "green", "blue")),
+        DiscreteAttribute("code", arity=4),
+    ))
+
+
+class TestHeaderRoundtrip:
+    def test_roundtrip_preserves_schema(self, tmp_path):
+        path = tmp_path / "t.hd2"
+        write_header(schema_full(), path)
+        back = read_header(path)
+        assert back == schema_full()
+
+    def test_error_value_preserved(self, tmp_path):
+        path = tmp_path / "t.hd2"
+        write_header(schema_full(), path)
+        assert read_header(path)["x"].error == pytest.approx(0.25)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.hd2"
+        path.write_text(
+            ";; comment\n\n0 real location x error 0.5\n"
+        )
+        schema = read_header(path)
+        assert schema.names == ("x",)
+
+    def test_unknown_type_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "t.hd2"
+        path.write_text("0 complex wave x\n")
+        with pytest.raises(HeaderFormatError, match="line 1"):
+            read_header(path)
+
+    def test_non_dense_indices_raise(self, tmp_path):
+        path = tmp_path / "t.hd2"
+        path.write_text(
+            "0 real location x error 0.1\n2 real location y error 0.1\n"
+        )
+        with pytest.raises(HeaderFormatError, match="dense"):
+            read_header(path)
+
+    def test_declared_count_mismatch_raises(self, tmp_path):
+        path = tmp_path / "t.hd2"
+        path.write_text(
+            "number_of_attributes 2\n0 real location x error 0.1\n"
+        )
+        with pytest.raises(HeaderFormatError, match="declares 2"):
+            read_header(path)
+
+    def test_discrete_missing_range_raises(self, tmp_path):
+        path = tmp_path / "t.hd2"
+        path.write_text("0 discrete nominal c\n")
+        with pytest.raises(HeaderFormatError, match="range"):
+            read_header(path)
+
+
+class TestDataRoundtrip:
+    def make_db(self):
+        return Database.from_columns(
+            schema_full(),
+            [
+                np.array([1.5, np.nan, -2.25]),
+                np.array([0, 2, -1]),
+                np.array([3, -1, 0]),
+            ],
+        )
+
+    def test_exact_roundtrip(self, tmp_path):
+        db = self.make_db()
+        path = tmp_path / "t.db2"
+        write_data(db, path)
+        back = read_data(db.schema, path)
+        for i in range(db.n_attributes):
+            np.testing.assert_array_equal(back.missing[i], db.missing[i])
+            present = ~db.missing[i]
+            np.testing.assert_array_equal(
+                back.columns[i][present], db.columns[i][present]
+            )
+
+    def test_symbols_written_not_codes(self, tmp_path):
+        path = tmp_path / "t.db2"
+        write_data(self.make_db(), path)
+        assert "red" in path.read_text()
+
+    def test_field_count_mismatch_raises(self, tmp_path):
+        path = tmp_path / "t.db2"
+        path.write_text("1.0 red\n")
+        with pytest.raises(DataFormatError, match="line 1"):
+            read_data(schema_full(), path)
+
+    def test_unknown_symbol_raises(self, tmp_path):
+        path = tmp_path / "t.db2"
+        path.write_text("1.0 purple 2\n")
+        with pytest.raises(DataFormatError, match="purple"):
+            read_data(schema_full(), path)
+
+    def test_bad_real_raises(self, tmp_path):
+        path = tmp_path / "t.db2"
+        path.write_text("oops red 2\n")
+        with pytest.raises(DataFormatError, match="oops"):
+            read_data(schema_full(), path)
+
+    def test_bad_code_raises(self, tmp_path):
+        path = tmp_path / "t.db2"
+        path.write_text("1.0 red zap\n")
+        with pytest.raises(DataFormatError, match="zap"):
+            read_data(schema_full(), path)
+
+
+class TestSaveLoad:
+    def test_paper_database_roundtrip(self, tmp_path):
+        db = make_paper_database(50, seed=9)
+        save_database(db, tmp_path / "paper")
+        back = load_database(tmp_path / "paper")
+        assert back.schema == db.schema
+        np.testing.assert_array_equal(back.column("x0"), db.column("x0"))
+
+    def test_mixed_database_roundtrip(self, tmp_path):
+        db, _ = make_mixed_database(60, missing_rate=0.15, seed=3)
+        save_database(db, tmp_path / "mixed")
+        back = load_database(tmp_path / "mixed")
+        assert back.n_missing() == db.n_missing()
+        for i in range(db.n_attributes):
+            present = ~db.missing[i]
+            np.testing.assert_allclose(
+                back.columns[i][present], db.columns[i][present]
+            )
+
+    def test_save_returns_both_paths(self, tmp_path):
+        db = make_paper_database(5, seed=0)
+        hd2, db2 = save_database(db, tmp_path / "x")
+        assert hd2.exists() and db2.exists()
+        assert hd2.suffix == ".hd2" and db2.suffix == ".db2"
+
+
+class TestPartitionedLoading:
+    def test_count_data_items_skips_comments(self, tmp_path):
+        from repro.data.io import count_data_items
+
+        path = tmp_path / "t.db2"
+        path.write_text(";; header\n1.0 red 0\n\n2.0 blue 1\n")
+        assert count_data_items(path) == 2
+
+    def test_blocks_reassemble_full_database(self, tmp_path):
+        from repro.data.io import load_database_partition
+        from repro.data.partition import block_partition
+
+        db = make_paper_database(103, seed=8)
+        save_database(db, tmp_path / "part")
+        full = load_database(tmp_path / "part")
+        for n_ranks in (1, 3, 5):
+            for rank in range(n_ranks):
+                local, n_total = load_database_partition(
+                    tmp_path / "part", n_ranks, rank
+                )
+                assert n_total == 103
+                expected = block_partition(full, n_ranks, rank)
+                assert local.n_items == expected.n_items
+                np.testing.assert_array_equal(
+                    local.column("x0"), expected.column("x0")
+                )
+
+    def test_streamed_blocks_feed_partitioned_pautoclass(self, tmp_path):
+        """File -> per-rank block -> distributed P-AutoClass == sequential."""
+        from repro.data.io import load_database_partition
+        from repro.engine.search import SearchConfig, run_search
+        from repro.mpc.threadworld import run_spmd_threads
+        from repro.parallel.driver import run_pautoclass_partitioned
+
+        db = make_paper_database(120, seed=9)
+        save_database(db, tmp_path / "dist")
+        cfg = SearchConfig(start_j_list=(2,), max_n_tries=1, seed=3,
+                           max_cycles=10, init_method="sharp")
+        seq = run_search(load_database(tmp_path / "dist"), cfg)
+
+        def prog(comm):
+            local, _n = load_database_partition(
+                tmp_path / "dist", comm.size, comm.rank
+            )
+            return run_pautoclass_partitioned(comm, local, cfg)
+
+        results = run_spmd_threads(prog, 4)
+        assert results[0].best.score == pytest.approx(
+            seq.best.score, rel=1e-9
+        )

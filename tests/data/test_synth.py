@@ -1,0 +1,90 @@
+"""Tests for repro.data.synth."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import DiscreteAttribute, RealAttribute
+from repro.data.synth import (
+    make_mixed_database,
+    make_paper_database,
+    make_separable_blobs,
+)
+
+
+class TestPaperDatabase:
+    def test_shape_and_schema(self):
+        db = make_paper_database(500, seed=0)
+        assert db.n_items == 500
+        assert db.schema.names == ("x0", "x1")
+        assert all(isinstance(a, RealAttribute) for a in db.schema)
+
+    def test_no_missing(self):
+        assert make_paper_database(200, seed=0).n_missing() == 0
+
+    def test_deterministic_by_seed(self):
+        a = make_paper_database(100, seed=5).column("x0")
+        b = make_paper_database(100, seed=5).column("x0")
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_paper_database(100, seed=5).column("x0")
+        b = make_paper_database(100, seed=6).column("x0")
+        assert not np.array_equal(a, b)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            make_paper_database(0)
+        with pytest.raises(ValueError):
+            make_paper_database(10, n_true_clusters=0)
+
+
+class TestSeparableBlobs:
+    def test_labels_cover_clusters(self):
+        db, labels = make_separable_blobs(300, 4, 2, seed=1)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+        assert db.n_items == 300
+
+    def test_blobs_really_separate(self):
+        """Cluster means are pairwise farther apart than 4 sigma."""
+        db, labels = make_separable_blobs(1_000, 3, 2, separation=8.0, seed=2)
+        x = db.real_matrix()
+        centers = np.array([x[labels == j].mean(axis=0) for j in range(3)])
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.linalg.norm(centers[i] - centers[j]) > 4.0
+
+    def test_weights_respected(self):
+        _, labels = make_separable_blobs(
+            5_000, 2, 1, weights=np.array([0.9, 0.1]), seed=3
+        )
+        frac = (labels == 0).mean()
+        assert 0.85 < frac < 0.95
+
+    def test_bad_weights_raise(self):
+        with pytest.raises(ValueError, match="one entry per cluster"):
+            make_separable_blobs(10, 2, 1, weights=np.array([1.0]))
+
+
+class TestMixedDatabase:
+    def test_schema_mix(self):
+        db, _ = make_mixed_database(100, n_real=2, n_discrete=3, seed=0)
+        assert sum(isinstance(a, RealAttribute) for a in db.schema) == 2
+        assert sum(isinstance(a, DiscreteAttribute) for a in db.schema) == 3
+
+    def test_missing_rate_approximate(self):
+        db, _ = make_mixed_database(2_000, missing_rate=0.2, seed=1)
+        frac = db.n_missing() / (db.n_items * db.n_attributes)
+        assert 0.15 < frac < 0.25
+
+    def test_zero_missing_rate(self):
+        db, _ = make_mixed_database(200, missing_rate=0.0, seed=1)
+        assert db.n_missing() == 0
+
+    def test_missing_rate_bounds(self):
+        with pytest.raises(ValueError, match="missing_rate"):
+            make_mixed_database(10, missing_rate=0.95)
+
+    def test_labels_shape(self):
+        db, labels = make_mixed_database(123, seed=4)
+        assert labels.shape == (123,)
+        assert db.n_items == 123

@@ -1,0 +1,92 @@
+"""Tests for repro.engine.approx (Cheeseman–Stutz scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.approx import cheeseman_stutz, map_objective, update_approximations
+from repro.engine.classification import class_weight_prior
+from repro.engine.cycle import base_cycle
+from repro.engine.init import initial_classification
+from repro.engine.params import local_update_parameters
+from repro.engine.wts import update_wts
+from repro.models.registry import unpack_stats
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture()
+def state(paper_db, paper_spec):
+    clf = initial_classification(paper_db, paper_spec, 3, spawn_rng(3))
+    wts, red = update_wts(paper_db, clf)
+    stats = local_update_parameters(paper_db, paper_spec, wts)
+    return clf, wts, red, stats
+
+
+class TestCheesemanStutz:
+    def test_finite_and_below_obs_loglik(self, paper_db, paper_spec, state):
+        clf, _, red, stats = state
+        cs = cheeseman_stutz(paper_spec, 3, stats, red)
+        assert np.isfinite(cs)
+        # The CS score approximates log P(X|T) <= log P(X|V_MAP) in
+        # practice for these models (marginalization costs probability).
+        assert cs < red.sum_log_z
+
+    def test_decomposition(self, paper_db, paper_spec, state):
+        """CS = class evidence + term evidences + assignment entropy."""
+        clf, _, red, stats = state
+        expected = (
+            class_weight_prior(3).log_marginal(red.w_j)
+            + sum(
+                term.log_marginal(s)
+                for term, s in zip(paper_spec.terms, unpack_stats(paper_spec, stats))
+            )
+            - red.sum_w_log_w
+        )
+        assert cheeseman_stutz(paper_spec, 3, stats, red) == pytest.approx(expected)
+
+    def test_prefers_true_structure_over_one_class(self, paper_db, paper_spec):
+        """On clustered data, a converged multi-class solution must
+        out-score the single-class solution."""
+        clf1 = initial_classification(paper_db, paper_spec, 1, spawn_rng(0))
+        clf1, _, _ = base_cycle(paper_db, clf1)
+        clf1, _, _ = base_cycle(paper_db, clf1)
+        clfk = initial_classification(
+            paper_db, paper_spec, 8, spawn_rng(0), method="seeded"
+        )
+        for _ in range(30):
+            clfk, _, _ = base_cycle(paper_db, clfk)
+        assert clfk.scores.log_marginal_cs > clf1.scores.log_marginal_cs
+
+
+class TestScores:
+    def test_update_approximations_fields(self, paper_db, state):
+        clf, _, red, stats = state
+        scores = update_approximations(clf, stats, red, paper_db.n_items)
+        assert scores.n_items == paper_db.n_items
+        assert scores.log_lik_obs == pytest.approx(red.sum_log_z)
+        assert np.isfinite(scores.log_map_objective)
+        assert scores.w_j.shape == (3,)
+
+    def test_n_populated(self, paper_db, state):
+        clf, _, red, stats = state
+        scores = update_approximations(clf, stats, red, paper_db.n_items)
+        assert 1 <= scores.n_populated <= 3
+
+    def test_map_objective_includes_priors(self, paper_db, state):
+        clf, _, red, _ = state
+        obj = map_objective(clf, red.sum_log_z)
+        assert obj != pytest.approx(red.sum_log_z)  # priors contribute
+        assert np.isfinite(obj)
+
+
+class TestEMMonotonicity:
+    @pytest.mark.parametrize("n_classes", [2, 4, 8])
+    def test_map_objective_nondecreasing(self, paper_db, paper_spec, n_classes):
+        """The MAP-EM invariant: each base_cycle cannot decrease
+        log P(X|V) + log P(V|T) (up to the sigma-floor clamp)."""
+        clf = initial_classification(paper_db, paper_spec, n_classes, spawn_rng(7))
+        previous = -np.inf
+        for _ in range(25):
+            clf, _, _ = base_cycle(paper_db, clf)
+            current = clf.scores.log_map_objective
+            assert current >= previous - 1e-6 * max(abs(previous), 1.0)
+            previous = current

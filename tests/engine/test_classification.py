@@ -1,0 +1,98 @@
+"""Tests for repro.engine.classification (state objects)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.classification import (
+    EMPTY_CLASS_WEIGHT,
+    Classification,
+    Scores,
+    class_weight_prior,
+)
+from repro.engine.init import initial_classification
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture()
+def clf(paper_db, paper_spec):
+    return initial_classification(paper_db, paper_spec, 3, spawn_rng(0))
+
+
+class TestClassification:
+    def test_pi_exponentiates_log_pi(self, clf):
+        np.testing.assert_allclose(clf.pi, np.exp(clf.log_pi))
+        assert clf.pi.sum() == pytest.approx(1.0)
+
+    def test_shape_validation(self, paper_spec, clf):
+        with pytest.raises(ValueError, match="log_pi"):
+            Classification(
+                spec=paper_spec,
+                n_classes=3,
+                log_pi=np.zeros(4),
+                term_params=clf.term_params,
+            )
+
+    def test_term_params_count_validation(self, paper_spec, clf):
+        with pytest.raises(ValueError, match="term params"):
+            Classification(
+                spec=paper_spec,
+                n_classes=3,
+                log_pi=clf.log_pi,
+                term_params=clf.term_params[:1],
+            )
+
+    def test_term_params_class_count_validation(self, paper_db, paper_spec, clf):
+        other = initial_classification(paper_db, paper_spec, 4, spawn_rng(1))
+        with pytest.raises(ValueError, match="classes"):
+            Classification(
+                spec=paper_spec,
+                n_classes=3,
+                log_pi=clf.log_pi,
+                term_params=other.term_params,
+            )
+
+    def test_with_scores_immutability(self, clf):
+        scores = Scores(
+            log_marginal_cs=-1.0,
+            log_lik_obs=-0.5,
+            log_map_objective=-0.7,
+            w_j=np.array([1.0, 1.0, 1.0]),
+            n_items=3,
+        )
+        scored = clf.with_scores(scores, n_cycles=5)
+        assert scored is not clf
+        assert clf.scores is None
+        assert scored.scores is scores
+        assert scored.n_cycles == 5
+
+    def test_describe_mentions_scores(self, clf):
+        assert "J=3" in clf.describe()
+        scored = clf.with_scores(
+            Scores(-10.0, -5.0, -7.0, np.array([2.0, 0.1, 0.9]), 3)
+        )
+        text = scored.describe()
+        assert "-10" in text and "populated" in text
+
+
+class TestScores:
+    def test_n_populated_uses_threshold(self):
+        scores = Scores(
+            log_marginal_cs=0.0,
+            log_lik_obs=0.0,
+            log_map_objective=0.0,
+            w_j=np.array([10.0, EMPTY_CLASS_WEIGHT * 0.9, 3.0]),
+            n_items=13,
+        )
+        assert scores.n_populated == 2
+
+
+class TestClassWeightPrior:
+    def test_autoclass_alpha(self):
+        prior = class_weight_prior(4)
+        assert prior.alpha == pytest.approx(1.25)
+        assert prior.arity == 4
+
+    def test_map_is_paper_formula(self):
+        prior = class_weight_prior(2)
+        w = np.array([7.0, 3.0])
+        np.testing.assert_allclose(prior.map(w), (w + 0.5) / 11.0)

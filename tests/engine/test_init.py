@@ -1,0 +1,86 @@
+"""Tests for repro.engine.init."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import AttributeSet, DiscreteAttribute
+from repro.data.database import Database
+from repro.engine.init import (
+    classification_from_weights,
+    initial_classification,
+    random_weights,
+)
+from repro.util.rng import spawn_rng
+
+
+class TestRandomWeights:
+    @pytest.mark.parametrize("method", ["dirichlet", "sharp"])
+    def test_rows_are_distributions(self, method):
+        wts = random_weights(50, 4, spawn_rng(0), method=method)
+        assert wts.shape == (50, 4)
+        np.testing.assert_allclose(wts.sum(axis=1), 1.0)
+        assert np.all(wts >= 0)
+
+    def test_sharp_is_one_hot(self):
+        wts = random_weights(30, 3, spawn_rng(1), method="sharp")
+        assert set(np.unique(wts)) == {0.0, 1.0}
+
+    def test_deterministic(self):
+        a = random_weights(20, 3, spawn_rng(5))
+        b = random_weights(20, 3, spawn_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown init"):
+            random_weights(10, 2, spawn_rng(0), method="magic")
+
+    def test_seeded_needs_db(self):
+        with pytest.raises(ValueError, match="database"):
+            random_weights(10, 2, spawn_rng(0), method="seeded")
+
+    def test_seeded_produces_one_hot(self, paper_db):
+        wts = random_weights(
+            paper_db.n_items, 4, spawn_rng(2), method="seeded", db=paper_db
+        )
+        assert set(np.unique(wts)) == {0.0, 1.0}
+        np.testing.assert_allclose(wts.sum(axis=1), 1.0)
+
+    def test_seeded_item_count_mismatch(self, paper_db):
+        with pytest.raises(ValueError, match="items"):
+            random_weights(7, 2, spawn_rng(0), method="seeded", db=paper_db)
+
+    def test_seeded_falls_back_without_reals(self):
+        schema = AttributeSet((DiscreteAttribute("c", arity=3),))
+        db = Database.from_columns(schema, [np.array([0, 1, 2, 0, 1])])
+        wts = random_weights(5, 2, spawn_rng(3), method="seeded", db=db)
+        assert set(np.unique(wts)) == {0.0, 1.0}
+
+    def test_zero_classes_raises(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            random_weights(5, 0, spawn_rng(0))
+
+
+class TestClassificationFromWeights:
+    def test_produces_valid_classification(self, paper_db, paper_spec):
+        wts = random_weights(paper_db.n_items, 3, spawn_rng(0))
+        clf = classification_from_weights(paper_db, paper_spec, wts)
+        assert clf.n_classes == 3
+        assert np.exp(clf.log_pi).sum() == pytest.approx(1.0)
+        assert clf.scores is None  # not yet evaluated
+
+    def test_row_count_mismatch_raises(self, paper_db, paper_spec):
+        with pytest.raises(ValueError, match="rows"):
+            classification_from_weights(paper_db, paper_spec, np.ones((3, 2)))
+
+
+class TestInitialClassification:
+    def test_deterministic_given_rng(self, paper_db, paper_spec):
+        a = initial_classification(paper_db, paper_spec, 4, spawn_rng(9))
+        b = initial_classification(paper_db, paper_spec, 4, spawn_rng(9))
+        np.testing.assert_array_equal(a.log_pi, b.log_pi)
+
+    def test_seeded_method_passes_db(self, paper_db, paper_spec):
+        clf = initial_classification(
+            paper_db, paper_spec, 4, spawn_rng(9), method="seeded"
+        )
+        assert clf.n_classes == 4

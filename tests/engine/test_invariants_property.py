@@ -1,0 +1,126 @@
+"""Property-based invariants of the engine over randomized datasets.
+
+Hypothesis drives dataset shape (sizes, cluster counts, missing rates,
+attribute mixes) and random weights; the invariants must hold for every
+generated configuration:
+
+* E-step weights are row-stochastic and conserve total mass;
+* sufficient statistics are additive over *any* contiguous split;
+* the packed-reduction payloads are finite;
+* one EM cycle never decreases the MAP objective.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import partition_bounds
+from repro.data.synth import make_mixed_database
+from repro.engine.cycle import base_cycle
+from repro.engine.init import initial_classification
+from repro.engine.params import local_update_parameters
+from repro.engine.wts import local_update_wts, update_wts
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.util.rng import spawn_rng
+
+dataset_configs = st.fixed_dictionaries(
+    {
+        "n_items": st.integers(20, 150),
+        "n_clusters": st.integers(1, 4),
+        "n_real": st.integers(0, 3),
+        "n_discrete": st.integers(0, 3),
+        "missing_rate": st.sampled_from([0.0, 0.1, 0.3]),
+        "seed": st.integers(0, 10_000),
+    }
+).filter(lambda c: c["n_real"] + c["n_discrete"] >= 1)
+
+
+def build(config, n_classes=3):
+    db, _ = make_mixed_database(
+        config["n_items"],
+        n_clusters=config["n_clusters"],
+        n_real=config["n_real"],
+        n_discrete=config["n_discrete"],
+        missing_rate=config["missing_rate"],
+        seed=config["seed"],
+    )
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    clf = initial_classification(
+        db, spec, n_classes, spawn_rng(config["seed"]), method="sharp"
+    )
+    return db, spec, clf
+
+
+class TestEStepInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(dataset_configs)
+    def test_weights_row_stochastic_and_mass_conserved(self, config):
+        db, _spec, clf = build(config)
+        wts, red = update_wts(db, clf)
+        np.testing.assert_allclose(wts.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(wts >= 0)
+        assert red.w_j.sum() == pytest.approx(db.n_items, rel=1e-9)
+        assert red.sum_w_log_w <= 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(dataset_configs, st.integers(2, 5))
+    def test_payload_additive_over_any_partitioning(self, config, n_ranks):
+        db, _spec, clf = build(config)
+        _, full = local_update_wts(db, clf)
+        total = np.zeros_like(full)
+        for r in range(n_ranks):
+            lo, hi = partition_bounds(db.n_items, n_ranks, r)
+            _, part = local_update_wts(db.take(slice(lo, hi)), clf)
+            total += part
+        np.testing.assert_allclose(full, total, rtol=1e-9, atol=1e-12)
+
+
+class TestMStepInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(dataset_configs, st.integers(2, 5))
+    def test_stats_additive_over_any_partitioning(self, config, n_ranks):
+        db, spec, clf = build(config)
+        wts, _ = update_wts(db, clf)
+        full = local_update_parameters(db, spec, wts)
+        total = np.zeros_like(full)
+        for r in range(n_ranks):
+            lo, hi = partition_bounds(db.n_items, n_ranks, r)
+            total += local_update_parameters(
+                db.take(slice(lo, hi)), spec, wts[lo:hi]
+            )
+        np.testing.assert_allclose(full, total, rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dataset_configs)
+    def test_stats_finite(self, config):
+        db, spec, clf = build(config)
+        wts, _ = update_wts(db, clf)
+        stats = local_update_parameters(db, spec, wts)
+        assert np.isfinite(stats).all()
+        assert stats.shape == (clf.n_classes, spec.n_stats)
+
+
+class TestCycleInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(dataset_configs)
+    def test_map_objective_never_decreases(self, config):
+        db, _spec, clf = build(config)
+        previous = -np.inf
+        for _ in range(6):
+            clf, _, _ = base_cycle(db, clf)
+            current = clf.scores.log_map_objective
+            assert current >= previous - 1e-6 * max(abs(previous), 1.0)
+            previous = current
+
+    @settings(max_examples=15, deadline=None)
+    @given(dataset_configs)
+    def test_scores_finite_every_cycle(self, config):
+        db, _spec, clf = build(config)
+        for _ in range(4):
+            clf, _, _ = base_cycle(db, clf)
+            s = clf.scores
+            assert np.isfinite(s.log_marginal_cs)
+            assert np.isfinite(s.log_lik_obs)
+            assert np.isfinite(s.log_map_objective)

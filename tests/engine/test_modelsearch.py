@@ -1,0 +1,109 @@
+"""Tests for repro.engine.modelsearch (the model-level search)."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import AttributeSet, RealAttribute
+from repro.data.database import Database
+from repro.engine.modelsearch import (
+    ModelSearchResult,
+    candidate_specs,
+    correlated_spec,
+    run_model_search,
+)
+from repro.engine.search import SearchConfig
+from repro.models.multinormal import MultiNormalTerm
+from repro.models.summary import DataSummary
+from repro.util.rng import spawn_rng
+
+
+def correlated_db(n=800, rho=0.95, seed=0):
+    """Two-cluster data whose within-class attributes are correlated."""
+    rng = spawn_rng(seed)
+    cov = np.array([[1.0, rho], [rho, 1.0]])
+    labels = rng.integers(0, 2, size=n)
+    centers = np.array([[0.0, 0.0], [6.0, 6.0]])
+    x = np.array([rng.multivariate_normal(centers[k], cov) for k in labels])
+    schema = AttributeSet((RealAttribute("a"), RealAttribute("b")))
+    return Database.from_columns(schema, [x[:, 0], x[:, 1]])
+
+
+def independent_db(n=800, seed=1):
+    rng = spawn_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    centers = np.array([[0.0, 0.0], [6.0, 6.0]])
+    x = centers[labels] + rng.normal(size=(n, 2))
+    schema = AttributeSet((RealAttribute("a"), RealAttribute("b")))
+    return Database.from_columns(schema, [x[:, 0], x[:, 1]])
+
+
+CFG = SearchConfig(start_j_list=(2,), max_n_tries=1, seed=3, max_cycles=60)
+
+
+class TestCandidateSpecs:
+    def test_paper_db_offers_both_forms(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        names = [n for n, _ in candidate_specs(paper_db.schema, summary)]
+        assert names == ["independent", "correlated"]
+
+    def test_single_real_attr_offers_only_independent(self):
+        schema = AttributeSet((RealAttribute("a"),))
+        db = Database.from_columns(schema, [np.arange(10.0)])
+        summary = DataSummary.from_database(db)
+        names = [n for n, _ in candidate_specs(schema, summary)]
+        assert names == ["independent"]
+
+    def test_missing_reals_excluded_from_block(self, tiny_db):
+        summary = DataSummary.from_database(tiny_db)
+        # tiny_db: x has missing, y complete, c discrete -> only one
+        # complete real column, so no correlated candidate.
+        names = [n for n, _ in candidate_specs(tiny_db.schema, summary)]
+        assert names == ["independent"]
+
+    def test_correlated_spec_structure(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        spec = correlated_spec(paper_db.schema, summary)
+        assert isinstance(spec.terms[0], MultiNormalTerm)
+        assert spec.terms[0].attribute_indices == (0, 1)
+
+    def test_correlated_spec_explicit_block_validation(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        with pytest.raises(ValueError, match=">= 2"):
+            correlated_spec(paper_db.schema, summary, block=(0,))
+
+    def test_correlated_spec_rejects_missing_column(self, tiny_db):
+        summary = DataSummary.from_database(tiny_db)
+        with pytest.raises(ValueError, match="missing"):
+            correlated_spec(tiny_db.schema, summary, block=(0, 1))
+
+
+class TestRunModelSearch:
+    def test_correlated_data_selects_correlated_model(self):
+        db = correlated_db()
+        result = run_model_search(db, CFG)
+        assert result.best.name == "correlated"
+
+    def test_independent_data_selects_independent_model(self):
+        db = independent_db()
+        result = run_model_search(db, CFG)
+        assert result.best.name == "independent"
+
+    def test_summary_marks_best(self):
+        result = run_model_search(correlated_db(), CFG)
+        text = result.summary()
+        assert "2 model forms" in text
+        assert "*" in text
+
+    def test_custom_spec_list(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        specs = [("only", correlated_spec(paper_db.schema, summary))]
+        result = run_model_search(paper_db, CFG, specs=specs)
+        assert [t.name for t in result.trials] == ["only"]
+
+    def test_empty_spec_list_raises(self, paper_db):
+        with pytest.raises(ValueError, match="no candidate"):
+            run_model_search(paper_db, CFG, specs=[])
+
+    def test_empty_result_best_raises(self):
+        with pytest.raises(ValueError, match="no trials"):
+            _ = ModelSearchResult().best

@@ -1,0 +1,88 @@
+"""Tests for repro.engine.params (the M-step)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.init import initial_classification
+from repro.engine.params import (
+    finalize_parameters,
+    local_update_parameters,
+    update_parameters,
+)
+from repro.engine.wts import update_wts
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture()
+def state(paper_db, paper_spec):
+    clf = initial_classification(paper_db, paper_spec, 3, spawn_rng(1))
+    wts, red = update_wts(paper_db, clf)
+    return clf, wts, red
+
+
+class TestLocalStats:
+    def test_shape(self, paper_db, paper_spec, state):
+        clf, wts, _ = state
+        stats = local_update_parameters(paper_db, paper_spec, wts)
+        assert stats.shape == (3, paper_spec.n_stats)
+
+    def test_additive(self, paper_db, paper_spec, state):
+        _, wts, _ = state
+        full = local_update_parameters(paper_db, paper_spec, wts)
+        h = paper_db.n_items // 3
+        parts = (
+            local_update_parameters(paper_db.take(slice(0, h)), paper_spec, wts[:h])
+            + local_update_parameters(
+                paper_db.take(slice(h, 2 * h)), paper_spec, wts[h : 2 * h]
+            )
+            + local_update_parameters(
+                paper_db.take(slice(2 * h, None)), paper_spec, wts[2 * h :]
+            )
+        )
+        np.testing.assert_allclose(full, parts, rtol=1e-10)
+
+
+class TestFinalize:
+    def test_pi_formula(self, paper_db, paper_spec, state):
+        clf, wts, red = state
+        stats = local_update_parameters(paper_db, paper_spec, wts)
+        log_pi, _ = finalize_parameters(
+            paper_spec, stats, red.w_j, paper_db.n_items
+        )
+        expected = (red.w_j + 1.0 / 3.0) / (paper_db.n_items + 1.0)
+        np.testing.assert_allclose(np.exp(log_pi), expected)
+
+    def test_pi_sums_to_one(self, paper_db, paper_spec, state):
+        clf, wts, red = state
+        stats = local_update_parameters(paper_db, paper_spec, wts)
+        log_pi, _ = finalize_parameters(paper_spec, stats, red.w_j, paper_db.n_items)
+        assert np.exp(log_pi).sum() == pytest.approx(1.0)
+
+    def test_deterministic(self, paper_db, paper_spec, state):
+        clf, wts, red = state
+        stats = local_update_parameters(paper_db, paper_spec, wts)
+        a = finalize_parameters(paper_spec, stats, red.w_j, paper_db.n_items)
+        b = finalize_parameters(paper_spec, stats, red.w_j, paper_db.n_items)
+        np.testing.assert_array_equal(a[0], b[0])
+        for pa, pb in zip(a[1], b[1]):
+            np.testing.assert_array_equal(pa.mu, pb.mu)  # type: ignore[attr-defined]
+
+
+class TestUpdateParameters:
+    def test_returns_new_classification(self, paper_db, state):
+        clf, wts, red = state
+        new_clf, stats = update_parameters(paper_db, clf, wts, red.w_j)
+        assert new_clf is not clf
+        assert new_clf.n_classes == clf.n_classes
+        assert stats.shape == (3, clf.spec.n_stats)
+
+    def test_empty_class_stays_wellformed(self, paper_db, paper_spec):
+        """A class that receives ~no weight must still get finite params."""
+        clf = initial_classification(paper_db, paper_spec, 4, spawn_rng(2))
+        wts = np.zeros((paper_db.n_items, 4))
+        wts[:, 0] = 1.0  # everything to class 0
+        new_clf, _ = update_parameters(paper_db, clf, wts, wts.sum(axis=0))
+        assert np.isfinite(new_clf.log_pi).all()
+        for params in new_clf.term_params:
+            assert np.isfinite(params.mu).all()  # type: ignore[attr-defined]
+            assert np.all(params.sigma > 0)  # type: ignore[attr-defined]

@@ -1,0 +1,119 @@
+"""Tests for repro.engine.results_io (classification persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.synth import make_mixed_database
+from repro.engine.report import membership
+from repro.engine.results_io import (
+    ResultsFormatError,
+    load_classification,
+    load_search_result,
+    save_classification,
+    save_search_result,
+)
+from repro.engine.search import SearchConfig, run_search
+from repro.models.summary import DataSummary
+
+
+@pytest.fixture(scope="module")
+def fitted(paper_db):
+    cfg = SearchConfig(start_j_list=(2, 3), max_n_tries=2, seed=6, max_cycles=30)
+    result = run_search(paper_db, cfg)
+    summary = DataSummary.from_database(paper_db)
+    return paper_db, result, summary
+
+
+class TestClassificationRoundtrip:
+    def test_exact_parameter_roundtrip(self, fitted, tmp_path):
+        db, result, summary = fitted
+        clf = result.best.classification
+        path = tmp_path / "best.results.json"
+        save_classification(clf, summary, path)
+        back, back_summary = load_classification(path)
+        np.testing.assert_array_equal(back.log_pi, clf.log_pi)
+        for a, b in zip(back.term_params, clf.term_params):
+            np.testing.assert_array_equal(a.mu, b.mu)  # type: ignore[attr-defined]
+            np.testing.assert_array_equal(a.sigma, b.sigma)  # type: ignore[attr-defined]
+        assert back.n_cycles == clf.n_cycles
+        assert back_summary.n_items == summary.n_items
+
+    def test_scores_roundtrip(self, fitted, tmp_path):
+        db, result, summary = fitted
+        clf = result.best.classification
+        path = tmp_path / "c.json"
+        save_classification(clf, summary, path)
+        back, _ = load_classification(path)
+        assert back.scores is not None
+        assert back.scores.log_marginal_cs == clf.scores.log_marginal_cs
+        np.testing.assert_array_equal(back.scores.w_j, clf.scores.w_j)
+
+    def test_loaded_classification_predicts_identically(self, fitted, tmp_path):
+        """The point of the file: classify new items without the
+        original process — with bit-identical results."""
+        db, result, summary = fitted
+        clf = result.best.classification
+        path = tmp_path / "c.json"
+        save_classification(clf, summary, path)
+        back, _ = load_classification(path)
+        wts_a, hard_a = membership(db, clf)
+        wts_b, hard_b = membership(db, back)
+        np.testing.assert_array_equal(wts_a, wts_b)
+        np.testing.assert_array_equal(hard_a, hard_b)
+
+    def test_mixed_models_roundtrip(self, tmp_path):
+        """All four term families survive the round trip."""
+        db, _ = make_mixed_database(200, missing_rate=0.1, seed=5)
+        cfg = SearchConfig(start_j_list=(3,), max_n_tries=1, seed=1,
+                           max_cycles=15, init_method="sharp")
+        result = run_search(db, cfg)
+        summary = DataSummary.from_database(db)
+        path = tmp_path / "mixed.json"
+        save_classification(result.best.classification, summary, path)
+        back, _ = load_classification(path)
+        wts_a, _ = membership(db, result.best.classification)
+        wts_b, _ = membership(db, back)
+        np.testing.assert_array_equal(wts_a, wts_b)
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("this is not json")
+        with pytest.raises(ResultsFormatError, match="not a results file"):
+            load_classification(path)
+
+    def test_version_mismatch_raises(self, fitted, tmp_path):
+        db, result, summary = fitted
+        path = tmp_path / "c.json"
+        save_classification(result.best.classification, summary, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ResultsFormatError, match="version"):
+            load_classification(path)
+
+
+class TestSearchResultRoundtrip:
+    def test_all_tries_roundtrip(self, fitted, tmp_path):
+        db, result, summary = fitted
+        path = tmp_path / "search.json"
+        save_search_result(result, summary, path)
+        back = load_search_result(path)
+        assert len(back.tries) == len(result.tries)
+        assert [t.score for t in back.tries] == [t.score for t in result.tries]
+        assert back.best.try_index == result.best.try_index
+
+    def test_config_roundtrip(self, fitted, tmp_path):
+        db, result, summary = fitted
+        path = tmp_path / "search.json"
+        save_search_result(result, summary, path)
+        back = load_search_result(path)
+        assert back.config == result.config
+
+    def test_duplicates_preserved(self, fitted, tmp_path):
+        db, result, summary = fitted
+        path = tmp_path / "search.json"
+        save_search_result(result, summary, path)
+        back = load_search_result(path)
+        assert back.n_duplicates == result.n_duplicates

@@ -1,0 +1,94 @@
+"""Tests for repro.engine.rlog (detailed report files)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synth import make_mixed_database
+from repro.engine.rlog import detailed_report, write_report
+from repro.engine.search import SearchConfig, run_search
+from repro.models.registry import parse_model_spec
+from repro.models.summary import DataSummary
+
+CFG = SearchConfig(start_j_list=(3,), max_n_tries=1, seed=2,
+                   max_cycles=12, init_method="sharp")
+
+
+@pytest.fixture(scope="module")
+def mixed_fit():
+    db, _ = make_mixed_database(
+        250, n_real=2, n_discrete=2, missing_rate=0.1, seed=4
+    )
+    res = run_search(db, CFG)
+    return db, res.best.classification
+
+
+class TestDetailedReport:
+    def test_header_fields(self, mixed_fit):
+        db, clf = mixed_fit
+        text = detailed_report(db, clf)
+        assert f"items: {db.n_items}" in text
+        assert "Cheeseman-Stutz" in text
+        assert "free parameters" in text
+
+    def test_every_class_listed(self, mixed_fit):
+        db, clf = mixed_fit
+        text = detailed_report(db, clf)
+        for j in range(clf.n_classes):
+            assert f"CLASS {j}" in text
+
+    def test_member_counts_consistent(self, mixed_fit):
+        db, clf = mixed_fit
+        text = detailed_report(db, clf)
+        hard_counts = [
+            int(line.split("hard members=")[1])
+            for line in text.splitlines()
+            if "hard members=" in line
+        ]
+        assert sum(hard_counts) == db.n_items
+
+    def test_term_renderers(self, mixed_fit):
+        db, clf = mixed_fit
+        text = detailed_report(db, clf)
+        assert "multinomial" in text
+        assert "P(present)=" in text  # cm terms (missing data)
+        assert "mu=" in text and "sigma=" in text
+
+    def test_unknown_symbol_shown_for_modeled_missing(self, mixed_fit):
+        db, clf = mixed_fit
+        assert "<unknown>=" in detailed_report(db, clf)
+
+    def test_multinormal_and_ignore_rendering(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        spec = parse_model_spec(
+            "multi_normal_cn x0 x1", paper_db.schema, summary
+        )
+        res = run_search(paper_db, CFG, spec)
+        text = detailed_report(paper_db, res.best.classification)
+        assert "multivariate normal" in text
+        spec2 = parse_model_spec(
+            "single_normal_cn x0\nignore x1", paper_db.schema, summary
+        )
+        res2 = run_search(paper_db, CFG, spec2)
+        assert "ignored" in detailed_report(
+            paper_db, res2.best.classification
+        )
+
+    def test_influence_ordering_within_class(self, mixed_fit):
+        """Attributes are listed by descending influence in each class."""
+        db, clf = mixed_fit
+        text = detailed_report(db, clf)
+        block = text.split("CLASS 0")[1].split("CLASS")[0]
+        values = [
+            float(line.split("[")[1].split("]")[0])
+            for line in block.splitlines()
+            if line.strip().startswith("[")
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestWriteReport:
+    def test_writes_file(self, mixed_fit, tmp_path):
+        db, clf = mixed_fit
+        path = write_report(db, clf, tmp_path / "run.rlog")
+        assert path.exists()
+        assert "CLASS 0" in path.read_text()

@@ -1,0 +1,81 @@
+"""Tests for repro.engine.wts (the E-step)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.init import initial_classification
+from repro.engine.wts import (
+    N_EXTRA_SLOTS,
+    compute_log_joint,
+    finalize_wts,
+    local_update_wts,
+    update_wts,
+)
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture()
+def clf(paper_db, paper_spec):
+    return initial_classification(paper_db, paper_spec, 4, spawn_rng(0))
+
+
+class TestComputeLogJoint:
+    def test_shape(self, paper_db, clf):
+        lj = compute_log_joint(paper_db, clf)
+        assert lj.shape == (paper_db.n_items, 4)
+
+    def test_is_sum_of_terms_plus_prior(self, paper_db, clf):
+        lj = compute_log_joint(paper_db, clf)
+        manual = np.tile(clf.log_pi, (paper_db.n_items, 1))
+        for term, params in zip(clf.spec.terms, clf.term_params):
+            manual = manual + term.log_likelihood(paper_db, params)
+        np.testing.assert_allclose(lj, manual)
+
+
+class TestUpdateWts:
+    def test_weights_rows_sum_to_one(self, paper_db, clf):
+        wts, _ = update_wts(paper_db, clf)
+        np.testing.assert_allclose(wts.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_class_totals_sum_to_n(self, paper_db, clf):
+        _, red = update_wts(paper_db, clf)
+        assert red.w_j.sum() == pytest.approx(paper_db.n_items)
+        assert red.n_items_weighted == pytest.approx(paper_db.n_items)
+
+    def test_entropy_term_nonpositive(self, paper_db, clf):
+        _, red = update_wts(paper_db, clf)
+        assert red.sum_w_log_w <= 0.0
+
+    def test_payload_roundtrip(self, paper_db, clf):
+        _, payload = local_update_wts(paper_db, clf)
+        red = finalize_wts(payload, clf.n_classes)
+        assert payload.shape == (clf.n_classes + N_EXTRA_SLOTS,)
+        np.testing.assert_array_equal(red.w_j, payload[: clf.n_classes])
+
+    def test_finalize_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="payload"):
+            finalize_wts(np.zeros(5), 2)
+
+    def test_payload_additive_over_partitions(self, paper_db, clf):
+        _, full = local_update_wts(paper_db, clf)
+        half = paper_db.n_items // 2
+        _, a = local_update_wts(paper_db.take(slice(0, half)), clf)
+        _, b = local_update_wts(paper_db.take(slice(half, None)), clf)
+        np.testing.assert_allclose(full, a + b, rtol=1e-12)
+
+    def test_sum_log_z_is_data_log_likelihood(self, paper_db, clf):
+        """sum_log_z must equal log P(X|V) computed directly."""
+        _, red = update_wts(paper_db, clf)
+        lj = compute_log_joint(paper_db, clf)
+        from scipy.special import logsumexp
+
+        direct = float(logsumexp(lj, axis=1).sum())
+        assert red.sum_log_z == pytest.approx(direct)
+
+    def test_completed_loglik_identity(self, paper_db, clf):
+        """sum_ij w_ij log p_ij == sum_log_z + sum_w_log_w (the identity
+        update_approximations relies on)."""
+        wts, red = update_wts(paper_db, clf)
+        lj = compute_log_joint(paper_db, clf)
+        direct = float((wts * lj).sum())
+        assert red.sum_log_z + red.sum_w_log_w == pytest.approx(direct, rel=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for repro.models.multinomial."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import AttributeSet, DiscreteAttribute, RealAttribute
+from repro.data.database import Database
+from repro.models.multinomial import MultinomialTerm
+from repro.models.summary import DataSummary
+
+
+def make_db(codes):
+    schema = AttributeSet((DiscreteAttribute("c", arity=3),))
+    return Database.from_columns(schema, [np.asarray(codes)])
+
+
+def make_term(db, **kw):
+    return MultinomialTerm(0, db.schema[0], DataSummary.from_database(db), **kw)
+
+
+class TestStats:
+    def test_weighted_counts(self):
+        db = make_db([0, 1, 1, 2])
+        term = make_term(db)
+        wts = np.array([[1.0, 0], [0.5, 0.5], [0.5, 0.5], [0, 1.0]])
+        stats = term.accumulate_stats(db, wts)
+        np.testing.assert_allclose(stats[0], [1.0, 1.0, 0.0])
+        np.testing.assert_allclose(stats[1], [0.0, 1.0, 1.0])
+
+    def test_additivity_over_partitions(self):
+        db = make_db([0, 1, 2, 0, 1, -1, 2, 0])
+        term = make_term(db)
+        rng = np.random.default_rng(0)
+        wts = rng.dirichlet(np.ones(2), size=8)
+        full = term.accumulate_stats(db, wts)
+        parts = sum(
+            term.accumulate_stats(db.take(slice(i, i + 2)), wts[i : i + 2])
+            for i in range(0, 8, 2)
+        )
+        np.testing.assert_allclose(full, parts, atol=1e-12)
+
+    def test_missing_modeled_as_extra_cell(self):
+        db = make_db([0, -1, 2])
+        term = make_term(db)  # summary sees missing -> model_missing True
+        assert term.model_missing and term.n_cells == 4
+        stats = term.accumulate_stats(db, np.ones((3, 1)))
+        np.testing.assert_allclose(stats[0], [1, 0, 1, 1])
+
+    def test_missing_ignored_when_not_modeled(self):
+        db = make_db([0, -1, 2])
+        term = make_term(db, model_missing=False)
+        stats = term.accumulate_stats(db, np.ones((3, 1)))
+        np.testing.assert_allclose(stats[0], [1, 0, 1])
+
+
+class TestParamsAndLikelihood:
+    def test_map_is_autoclass_formula(self):
+        db = make_db([0, 0, 1])
+        term = make_term(db)
+        stats = term.accumulate_stats(db, np.ones((3, 1)))
+        params = term.map_params(stats)
+        expected = (np.array([2.0, 1.0, 0.0]) + 1 / 3) / (3 + 1)
+        np.testing.assert_allclose(params.p[0], expected)
+
+    def test_log_likelihood_looks_up_codes(self):
+        db = make_db([0, 2, 1])
+        term = make_term(db)
+        stats = term.accumulate_stats(db, np.ones((3, 1)))
+        params = term.map_params(stats)
+        ll = term.log_likelihood(db, params)
+        np.testing.assert_allclose(
+            ll[:, 0], params.log_p[0][[0, 2, 1]]
+        )
+
+    def test_missing_cell_scored_when_modeled(self):
+        db = make_db([0, -1, 1])
+        term = make_term(db)
+        params = term.map_params(term.accumulate_stats(db, np.ones((3, 1))))
+        ll = term.log_likelihood(db, params)
+        assert ll[1, 0] == pytest.approx(params.log_p[0][3])
+
+    def test_missing_cell_free_when_not_modeled(self):
+        db = make_db([0, -1, 1])
+        term = make_term(db, model_missing=False)
+        params = term.map_params(term.accumulate_stats(db, np.ones((3, 1))))
+        ll = term.log_likelihood(db, params)
+        assert ll[1, 0] == 0.0
+
+    def test_validate_rejects_unmodeled_missing(self):
+        db = make_db([0, -1, 1])
+        term = make_term(db, model_missing=False)
+        with pytest.raises(ValueError, match="missing"):
+            term.validate(db)
+
+    def test_validate_rejects_real_attribute(self):
+        db = make_db([0, 1, 2])
+        term = make_term(db)
+        schema2 = AttributeSet((RealAttribute("c"),))
+        db2 = Database.from_columns(schema2, [np.array([1.0, 2.0, 3.0])])
+        with pytest.raises(TypeError, match="not discrete"):
+            term.validate(db2)
+
+    def test_requires_summary_or_flag(self):
+        db = make_db([0])
+        with pytest.raises(ValueError, match="model_missing"):
+            MultinomialTerm(0, db.schema[0], summary=None)
+
+
+class TestBayesianPieces:
+    def test_log_marginal_finite_and_negative(self):
+        db = make_db([0, 1, 2, 0])
+        term = make_term(db)
+        stats = term.accumulate_stats(db, np.ones((4, 1)))
+        lm = term.log_marginal(stats)
+        assert np.isfinite(lm) and lm < 0
+
+    def test_influence_zero_for_identical(self):
+        db = make_db([0, 1, 2, 0])
+        term = make_term(db)
+        params = term.map_params(term.accumulate_stats(db, np.ones((4, 1))))
+        np.testing.assert_allclose(term.influence(params, params), 0.0, atol=1e-12)
+
+    def test_influence_positive_for_different(self):
+        db = make_db([0, 0, 0, 1, 2, 2])
+        term = make_term(db)
+        wts = np.zeros((6, 2))
+        wts[:3, 0] = 1.0
+        wts[3:, 1] = 1.0
+        params = term.map_params(term.accumulate_stats(db, wts))
+        global_params = term.map_params(term.global_stats(db))
+        infl = term.influence(params, global_params)
+        assert np.all(infl > 0)
+
+    def test_n_free_params(self):
+        db = make_db([0, -1, 1])
+        assert make_term(db).n_free_params() == 3  # arity 3 + missing - 1
+        assert make_term(db, model_missing=False).n_free_params() == 2

@@ -1,0 +1,143 @@
+"""Tests for repro.models.multinormal (multi_normal_cn)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.data.attributes import AttributeSet, RealAttribute
+from repro.data.database import Database
+from repro.models.multinormal import MultiNormalTerm
+from repro.models.normal import NormalTerm
+from repro.models.summary import DataSummary
+
+
+def make_db(n=50, d=3, seed=0, corr=0.6):
+    rng = np.random.default_rng(seed)
+    cov = np.full((d, d), corr) + (1 - corr) * np.eye(d)
+    x = rng.multivariate_normal(np.zeros(d), cov, size=n)
+    schema = AttributeSet(tuple(RealAttribute(f"x{i}") for i in range(d)))
+    return Database.from_columns(schema, [x[:, i] for i in range(d)])
+
+
+def make_term(db):
+    d = len(db.schema)
+    return MultiNormalTerm(
+        tuple(range(d)),
+        tuple(db.schema[i] for i in range(d)),
+        DataSummary.from_database(db),
+    )
+
+
+class TestStructure:
+    def test_n_stats(self):
+        db = make_db(d=3)
+        assert make_term(db).n_stats == 1 + 3 + 6
+
+    def test_needs_two_attributes(self):
+        db = make_db(d=2)
+        with pytest.raises(ValueError, match="at least 2"):
+            MultiNormalTerm(
+                (0,), (db.schema[0],), DataSummary.from_database(db)
+            )
+
+    def test_validate_rejects_missing(self):
+        schema = AttributeSet((RealAttribute("a"), RealAttribute("b")))
+        db = Database.from_columns(
+            schema, [np.array([1.0, np.nan]), np.array([1.0, 2.0])]
+        )
+        term = MultiNormalTerm(
+            (0, 1), (schema[0], schema[1]), DataSummary.from_database(db)
+        )
+        with pytest.raises(ValueError, match="complete data"):
+            term.validate(db)
+
+
+class TestStatsAndParams:
+    def test_stats_additive(self):
+        db = make_db(n=40)
+        term = make_term(db)
+        wts = np.random.default_rng(1).dirichlet(np.ones(2), size=40)
+        full = term.accumulate_stats(db, wts)
+        parts = term.accumulate_stats(db.take(slice(0, 13)), wts[:13]) + \
+            term.accumulate_stats(db.take(slice(13, 40)), wts[13:])
+        np.testing.assert_allclose(full, parts, atol=1e-10)
+
+    def test_map_recovers_cov_heavy_data(self):
+        db = make_db(n=30_000, d=2, seed=2, corr=0.7)
+        term = make_term(db)
+        params = term.map_params(
+            term.accumulate_stats(db, np.ones((db.n_items, 1)))
+        )
+        x = db.real_matrix()
+        np.testing.assert_allclose(params.mu[0], x.mean(axis=0), atol=0.05)
+        np.testing.assert_allclose(params.sigma[0], np.cov(x.T, bias=True), atol=0.05)
+
+    def test_sigma_positive_definite(self):
+        db = make_db(n=10)
+        term = make_term(db)
+        wts = np.random.default_rng(3).dirichlet(np.ones(4), size=10)
+        params = term.map_params(term.accumulate_stats(db, wts))
+        for j in range(4):
+            assert np.all(np.linalg.eigvalsh(params.sigma[j]) > 0)
+
+    def test_log_likelihood_matches_scipy(self):
+        db = make_db(n=20, d=3)
+        term = make_term(db)
+        params = term.map_params(
+            term.accumulate_stats(db, np.ones((db.n_items, 1)))
+        )
+        ll = term.log_likelihood(db, params)
+        expected = sps.multivariate_normal.logpdf(
+            db.real_matrix(), params.mu[0], params.sigma[0]
+        )
+        np.testing.assert_allclose(ll[:, 0], expected, rtol=1e-10)
+
+
+class TestBayesianPieces:
+    def test_log_marginal_finite(self):
+        db = make_db(n=25)
+        term = make_term(db)
+        stats = term.accumulate_stats(db, np.ones((25, 1)))
+        assert np.isfinite(term.log_marginal(stats))
+
+    def test_log_prior_density_finite(self):
+        db = make_db(n=25)
+        term = make_term(db)
+        params = term.map_params(term.accumulate_stats(db, np.ones((25, 1))))
+        assert np.isfinite(term.log_prior_density(params))
+
+    def test_influence_zero_at_global(self):
+        db = make_db(n=30)
+        term = make_term(db)
+        global_params = term.map_params(term.global_stats(db))
+        np.testing.assert_allclose(
+            term.influence(global_params, global_params), 0.0, atol=1e-9
+        )
+
+    def test_influence_positive_for_shifted_class(self):
+        db = make_db(n=60, seed=5)
+        term = make_term(db)
+        wts = np.zeros((60, 2))
+        wts[:30, 0] = 1.0
+        wts[30:, 1] = 1.0
+        params = term.map_params(term.accumulate_stats(db, wts))
+        global_params = term.map_params(term.global_stats(db))
+        assert np.all(term.influence(params, global_params) >= 0)
+
+    def test_correlated_block_beats_independent_terms_on_correlated_data(self):
+        """The model-level search criterion: on strongly correlated data
+        the multi-normal evidence must exceed the independent normals'."""
+        db = make_db(n=500, d=2, seed=7, corr=0.9)
+        summary = DataSummary.from_database(db)
+        multi = make_term(db)
+        singles = [NormalTerm(i, db.schema[i], summary) for i in range(2)]
+        wts = np.ones((500, 1))
+        lm_multi = multi.log_marginal(multi.accumulate_stats(db, wts))
+        lm_singles = sum(
+            t.log_marginal(t.accumulate_stats(db, wts)) for t in singles
+        )
+        assert lm_multi > lm_singles
+
+    def test_n_free_params(self):
+        db = make_db(d=3)
+        assert make_term(db).n_free_params() == 3 + 6

@@ -1,0 +1,161 @@
+"""Tests for repro.models.normal (single_normal_cn / single_normal_cm)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.data.attributes import AttributeSet, DiscreteAttribute, RealAttribute
+from repro.data.database import Database
+from repro.models.normal import NormalMissingTerm, NormalTerm
+from repro.models.summary import DataSummary
+
+
+def make_db(values, error=0.01):
+    schema = AttributeSet((RealAttribute("x", error=error),))
+    return Database.from_columns(schema, [np.asarray(values, dtype=float)])
+
+
+def cn_term(db):
+    return NormalTerm(0, db.schema[0], DataSummary.from_database(db))
+
+
+def cm_term(db):
+    return NormalMissingTerm(0, db.schema[0], DataSummary.from_database(db))
+
+
+class TestNormalTerm:
+    def test_stats_layout(self):
+        db = make_db([1.0, 2.0, 3.0])
+        stats = cn_term(db).accumulate_stats(db, np.ones((3, 1)))
+        np.testing.assert_allclose(stats[0], [3.0, 6.0, 14.0])
+
+    def test_stats_additive(self):
+        db = make_db(np.linspace(-3, 3, 20))
+        term = cn_term(db)
+        wts = np.random.default_rng(0).dirichlet(np.ones(3), size=20)
+        full = term.accumulate_stats(db, wts)
+        halves = term.accumulate_stats(db.take(slice(0, 10)), wts[:10]) + \
+            term.accumulate_stats(db.take(slice(10, 20)), wts[10:])
+        np.testing.assert_allclose(full, halves, atol=1e-12)
+
+    def test_log_likelihood_matches_scipy(self):
+        db = make_db([0.0, 1.5, -2.0])
+        term = cn_term(db)
+        params = term.map_params(term.accumulate_stats(db, np.ones((3, 1))))
+        ll = term.log_likelihood(db, params)
+        expected = sps.norm.logpdf(db.column("x"), params.mu[0], params.sigma[0])
+        np.testing.assert_allclose(ll[:, 0], expected)
+
+    def test_map_approaches_mle_for_heavy_class(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(3.0, 1.5, size=20_000)
+        db = make_db(x)
+        term = cn_term(db)
+        params = term.map_params(term.accumulate_stats(db, np.ones((len(x), 1))))
+        assert params.mu[0] == pytest.approx(x.mean(), abs=0.01)
+        assert params.sigma[0] == pytest.approx(x.std(), rel=0.01)
+
+    def test_sigma_floored_at_declared_error(self):
+        db = make_db([5.0] * 50, error=0.3)
+        term = cn_term(db)
+        params = term.map_params(term.accumulate_stats(db, np.ones((50, 1))))
+        assert params.sigma[0] >= 0.3
+
+    def test_validate_rejects_missing(self):
+        db = make_db([1.0, np.nan])
+        with pytest.raises(ValueError, match="single_normal_cm"):
+            cn_term(db).validate(db)
+
+    def test_validate_rejects_discrete(self):
+        db = make_db([1.0, 2.0])
+        term = cn_term(db)
+        other = Database.from_columns(
+            AttributeSet((DiscreteAttribute("x", arity=2),)), [np.array([0, 1])]
+        )
+        with pytest.raises(TypeError, match="not real"):
+            term.validate(other)
+
+    def test_influence_kl_properties(self):
+        db = make_db(np.linspace(-5, 5, 30))
+        term = cn_term(db)
+        wts = np.zeros((30, 2))
+        wts[:15, 0] = 1.0
+        wts[15:, 1] = 1.0
+        params = term.map_params(term.accumulate_stats(db, wts))
+        global_params = term.map_params(term.global_stats(db))
+        infl = term.influence(params, global_params)
+        assert np.all(infl >= 0)
+        np.testing.assert_allclose(
+            term.influence(global_params, global_params), 0.0, atol=1e-12
+        )
+
+    def test_n_free_params(self):
+        db = make_db([1.0])
+        assert cn_term(db).n_free_params() == 2
+
+
+class TestNormalMissingTerm:
+    def make(self):
+        db = make_db([1.0, np.nan, 2.0, 3.0, np.nan])
+        return db, cm_term(db)
+
+    def test_stats_layout(self):
+        db, term = self.make()
+        stats = term.accumulate_stats(db, np.ones((5, 1)))
+        np.testing.assert_allclose(stats[0], [3.0, 6.0, 14.0, 2.0])
+
+    def test_p_present_map(self):
+        db, term = self.make()
+        params = term.map_params(term.accumulate_stats(db, np.ones((5, 1))))
+        # Beta(1.5, 1.5): (3 + 0.5)/(5 + 1)
+        assert params.p_present[0] == pytest.approx(3.5 / 6.0)
+
+    def test_present_likelihood_includes_presence_prob(self):
+        db, term = self.make()
+        params = term.map_params(term.accumulate_stats(db, np.ones((5, 1))))
+        ll = term.log_likelihood(db, params)
+        expected = (
+            sps.norm.logpdf(1.0, params.mu[0], params.sigma[0])
+            + np.log(params.p_present[0])
+        )
+        assert ll[0, 0] == pytest.approx(expected)
+
+    def test_missing_likelihood_is_absence_prob(self):
+        db, term = self.make()
+        params = term.map_params(term.accumulate_stats(db, np.ones((5, 1))))
+        ll = term.log_likelihood(db, params)
+        assert ll[1, 0] == pytest.approx(np.log(1 - params.p_present[0]))
+
+    def test_all_likelihoods_finite(self):
+        db, term = self.make()
+        wts = np.random.default_rng(0).dirichlet(np.ones(3), size=5)
+        params = term.map_params(term.accumulate_stats(db, wts))
+        assert np.isfinite(term.log_likelihood(db, params)).all()
+
+    def test_stats_additive_with_missing(self):
+        db, term = self.make()
+        wts = np.random.default_rng(1).dirichlet(np.ones(2), size=5)
+        full = term.accumulate_stats(db, wts)
+        parts = term.accumulate_stats(db.take(slice(0, 2)), wts[:2]) + \
+            term.accumulate_stats(db.take(slice(2, 5)), wts[2:])
+        np.testing.assert_allclose(full, parts, atol=1e-12)
+
+    def test_log_marginal_combines_value_and_presence(self):
+        db, term = self.make()
+        stats = term.accumulate_stats(db, np.ones((5, 1)))
+        value_part = term.prior.log_marginal(
+            stats[:, 0], stats[:, 1], stats[:, 2]
+        )
+        presence_part = term.presence_prior.log_marginal(stats[:, 0], stats[:, 3])
+        assert term.log_marginal(stats) == pytest.approx(value_part + presence_part)
+
+    def test_influence_zero_at_global(self):
+        db, term = self.make()
+        global_params = term.map_params(term.global_stats(db))
+        np.testing.assert_allclose(
+            term.influence(global_params, global_params), 0.0, atol=1e-12
+        )
+
+    def test_n_free_params(self):
+        _, term = self.make()
+        assert term.n_free_params() == 3

@@ -1,0 +1,224 @@
+"""Tests for repro.models.priors — MAP formulas, densities, evidences.
+
+The marginal-likelihood formulas are the backbone of the Cheeseman–Stutz
+score; they are verified against brute-force numerical integration and
+against cross-family consistency (NIW at d=1 must equal NIG).
+"""
+
+import numpy as np
+import pytest
+from scipy import integrate, stats
+
+from repro.models.priors import (
+    BetaPrior,
+    DirichletPrior,
+    NormalGammaPrior,
+    NormalWishartPrior,
+)
+
+
+class TestDirichletPrior:
+    def test_autoclass_map_formula(self):
+        """MAP = (c + 1/L) / (total + 1) with alpha = 1 + 1/L."""
+        prior = DirichletPrior.autoclass(4)
+        counts = np.array([3.0, 0.0, 1.0, 0.0])
+        expected = (counts + 0.25) / (4.0 + 1.0)
+        np.testing.assert_allclose(prior.map(counts), expected)
+
+    def test_map_rows_sum_to_one(self):
+        prior = DirichletPrior.autoclass(5)
+        counts = np.random.default_rng(0).random((3, 5)) * 10
+        np.testing.assert_allclose(prior.map(counts).sum(axis=1), 1.0)
+
+    def test_map_zero_counts_is_uniform(self):
+        prior = DirichletPrior.autoclass(3)
+        np.testing.assert_allclose(prior.map(np.zeros(3)), 1 / 3)
+
+    def test_alpha_at_most_one_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            DirichletPrior(arity=3, alpha=1.0)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            DirichletPrior.autoclass(3).map(np.zeros(4))
+
+    def test_log_pdf_matches_scipy(self):
+        prior = DirichletPrior(arity=3, alpha=2.0)
+        p = np.array([0.2, 0.3, 0.5])
+        expected = stats.dirichlet.logpdf(p, [2.0, 2.0, 2.0])
+        assert prior.log_pdf(p) == pytest.approx(expected)
+
+    def test_log_pdf_boundary_is_neg_inf(self):
+        prior = DirichletPrior(arity=2, alpha=2.0)
+        assert prior.log_pdf(np.array([1.0, 0.0])) == -np.inf
+
+    def test_log_marginal_binary_vs_quadrature(self):
+        """Dirichlet-multinomial evidence (arity 2) vs direct integration."""
+        prior = DirichletPrior(arity=2, alpha=1.5)
+        counts = np.array([2.3, 1.1])  # fractional on purpose
+
+        def integrand(p):
+            like = p ** counts[0] * (1 - p) ** counts[1]
+            return like * stats.beta.pdf(p, 1.5, 1.5)
+
+        value, _ = integrate.quad(integrand, 0, 1)
+        assert prior.log_marginal(counts) == pytest.approx(np.log(value), rel=1e-6)
+
+    def test_log_marginal_additive_over_rows(self):
+        prior = DirichletPrior.autoclass(3)
+        a = np.array([[1.0, 2.0, 3.0]])
+        b = np.array([[0.5, 0.5, 4.0]])
+        both = np.vstack([a, b])
+        assert prior.log_marginal(both) == pytest.approx(
+            prior.log_marginal(a) + prior.log_marginal(b)
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DirichletPrior.autoclass(2).log_marginal(np.array([-1.0, 2.0]))
+
+
+class TestBetaPrior:
+    def test_map_formula(self):
+        prior = BetaPrior(a=2.0, b=3.0)
+        assert prior.map(4.0, 1.0) == pytest.approx((4 + 1) / (5 + 3))
+
+    def test_improper_params_rejected(self):
+        with pytest.raises(ValueError):
+            BetaPrior(a=1.0, b=2.0)
+
+    def test_log_pdf_matches_scipy(self):
+        prior = BetaPrior(a=1.5, b=2.5)
+        assert prior.log_pdf(np.array([0.3])) == pytest.approx(
+            stats.beta.logpdf(0.3, 1.5, 2.5)
+        )
+
+    def test_log_pdf_boundary(self):
+        assert BetaPrior().log_pdf(np.array([0.0])) == -np.inf
+
+    def test_log_marginal_vs_quadrature(self):
+        prior = BetaPrior(a=1.5, b=1.5)
+        s, f = 3.7, 2.2
+
+        def integrand(p):
+            return p**s * (1 - p) ** f * stats.beta.pdf(p, 1.5, 1.5)
+
+        value, _ = integrate.quad(integrand, 0, 1)
+        assert prior.log_marginal(np.array([s]), np.array([f])) == pytest.approx(
+            np.log(value), rel=1e-6
+        )
+
+
+class TestNormalGammaPrior:
+    def make(self):
+        return NormalGammaPrior.anchored(mean=1.0, var=4.0, error=0.1)
+
+    def test_anchored_mode_near_data_var(self):
+        prior = self.make()
+        # Prior mode of sigma^2 is b0/(a0+1) = var by construction.
+        assert prior.b0 / (prior.a0 + 1.0) == pytest.approx(4.0)
+
+    def test_map_with_heavy_data_approaches_mle(self):
+        prior = self.make()
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 2.0, size=100_000)
+        w, wx, wxx = len(x), x.sum(), np.square(x).sum()
+        mu, sigma = prior.map(np.array([w]), np.array([wx]), np.array([wxx]))
+        assert mu[0] == pytest.approx(x.mean(), abs=0.01)
+        assert sigma[0] == pytest.approx(x.std(), rel=0.01)
+
+    def test_map_no_data_returns_prior_anchor(self):
+        prior = self.make()
+        mu, sigma = prior.map(np.array([0.0]), np.array([0.0]), np.array([0.0]))
+        assert mu[0] == pytest.approx(1.0)
+        assert sigma[0] > 0
+
+    def test_sigma_floor_applied(self):
+        prior = NormalGammaPrior.anchored(mean=0.0, var=1.0, error=2.0)
+        # Tight data with tiny variance still floors at error=2.
+        x = np.full(1000, 3.0)
+        mu, sigma = prior.map(
+            np.array([1000.0]), np.array([x.sum()]), np.array([np.square(x).sum()])
+        )
+        assert sigma[0] == pytest.approx(2.0)
+
+    def test_log_marginal_vs_quadrature(self):
+        """Evidence of 3 unit-weight points vs 2-D numerical integration."""
+        prior = NormalGammaPrior(mu0=0.0, kappa0=1.0, a0=2.0, b0=3.0, sigma_floor=0.01)
+        x = np.array([0.5, -1.0, 2.0])
+        w, wx, wxx = 3.0, x.sum(), np.square(x).sum()
+
+        def integrand(var, mu):
+            like = np.prod(stats.norm.pdf(x, mu, np.sqrt(var)))
+            prior_pdf = stats.norm.pdf(mu, 0.0, np.sqrt(var / 1.0)) * stats.invgamma.pdf(
+                var, 2.0, scale=3.0
+            )
+            return like * prior_pdf
+
+        value, _ = integrate.dblquad(
+            integrand, -15, 15, lambda _mu: 1e-4, lambda _mu: 150
+        )
+        got = prior.log_marginal(np.array([w]), np.array([wx]), np.array([wxx]))
+        assert got == pytest.approx(np.log(value), rel=1e-4)
+
+    def test_log_marginal_of_nothing_is_zero(self):
+        prior = self.make()
+        assert prior.log_marginal(
+            np.array([0.0]), np.array([0.0]), np.array([0.0])
+        ) == pytest.approx(0.0)
+
+    def test_log_pdf_negative_variance_neg_inf(self):
+        prior = self.make()
+        assert prior.log_pdf(np.array([0.0]), np.array([0.0])) == -np.inf
+
+
+class TestNormalWishartPrior:
+    def test_dim(self):
+        prior = NormalWishartPrior.anchored(
+            np.zeros(3), np.eye(3), np.full(3, 0.1)
+        )
+        assert prior.dim == 3
+
+    def test_map_heavy_data_approaches_mle(self):
+        rng = np.random.default_rng(1)
+        cov = np.array([[2.0, 0.8], [0.8, 1.0]])
+        x = rng.multivariate_normal([1.0, -2.0], cov, size=50_000)
+        prior = NormalWishartPrior.anchored(
+            np.zeros(2), np.eye(2), np.full(2, 0.01)
+        )
+        w = float(len(x))
+        wx = x.sum(axis=0)
+        wxx = x.T @ x
+        mu, sigma = prior.map(w, wx, wxx)
+        np.testing.assert_allclose(mu, [1.0, -2.0], atol=0.05)
+        np.testing.assert_allclose(sigma, cov, atol=0.06)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cov shape"):
+            NormalWishartPrior.anchored(np.zeros(2), np.eye(3), np.full(2, 0.1))
+
+    def test_marginal_d1_matches_normal_gamma(self):
+        """NIW with d=1 must give exactly the NIG evidence."""
+        mean, var, kappa = 0.7, 2.5, 1.0
+        niw = NormalWishartPrior(
+            mu0=np.array([mean]),
+            kappa0=kappa,
+            nu0=4.0,
+            psi0=np.array([[6.0]]),
+            var_floor=np.array([1e-4]),
+        )
+        # Matching NIG: nu0=4 (IW, d=1) corresponds to a0 = nu0/2 = 2,
+        # b0 = psi0/2 = 3.
+        nig = NormalGammaPrior(mu0=mean, kappa0=kappa, a0=2.0, b0=3.0, sigma_floor=1e-4)
+        x = np.array([0.2, 1.9, -0.4, 3.3])
+        w, wx, wxx = float(len(x)), x.sum(), np.square(x).sum()
+        got_niw = niw.log_marginal(w, np.array([wx]), np.array([[wxx]]))
+        got_nig = nig.log_marginal(np.array([w]), np.array([wx]), np.array([wxx]))
+        assert got_niw == pytest.approx(got_nig, rel=1e-10)
+
+    def test_map_variance_floor(self):
+        prior = NormalWishartPrior.anchored(
+            np.zeros(2), np.eye(2) * 1e-6, np.array([0.5, 0.5])
+        )
+        _, sigma = prior.map(0.0, np.zeros(2), np.zeros((2, 2)))
+        assert sigma[0, 0] >= 0.25 and sigma[1, 1] >= 0.25

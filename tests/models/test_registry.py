@@ -1,0 +1,155 @@
+"""Tests for repro.models.registry (ModelSpec, parsing, packing)."""
+
+import numpy as np
+import pytest
+
+from repro.models.multinomial import MultinomialTerm
+from repro.models.multinormal import MultiNormalTerm
+from repro.models.normal import NormalMissingTerm, NormalTerm
+from repro.models.registry import (
+    ModelSpec,
+    pack_stats,
+    parse_model_spec,
+    unpack_stats,
+)
+from repro.models.summary import DataSummary
+
+
+class TestDefaultFor:
+    def test_paper_db_gets_normals(self, paper_db, paper_spec):
+        assert all(isinstance(t, NormalTerm) for t in paper_spec.terms)
+
+    def test_missing_real_gets_cm(self, tiny_db):
+        spec = ModelSpec.default_for(
+            tiny_db.schema, DataSummary.from_database(tiny_db)
+        )
+        assert isinstance(spec.terms[0], NormalMissingTerm)  # x has missing
+        assert isinstance(spec.terms[1], NormalTerm)  # y complete
+        assert isinstance(spec.terms[2], MultinomialTerm)
+
+    def test_discrete_missing_modeled(self, tiny_db):
+        spec = ModelSpec.default_for(
+            tiny_db.schema, DataSummary.from_database(tiny_db)
+        )
+        assert spec.terms[2].model_missing  # type: ignore[union-attr]
+
+    def test_n_stats_totals(self, tiny_db):
+        spec = ModelSpec.default_for(
+            tiny_db.schema, DataSummary.from_database(tiny_db)
+        )
+        # cm(4) + cn(3) + multinomial(3 + missing cell = 4)
+        assert spec.n_stats == 11
+
+    def test_coverage_validation(self, tiny_db):
+        summary = DataSummary.from_database(tiny_db)
+        term = NormalMissingTerm(0, tiny_db.schema[0], summary)
+        with pytest.raises(ValueError, match="cover"):
+            ModelSpec(schema=tiny_db.schema, terms=(term,))
+
+    def test_duplicate_coverage_rejected(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        t0 = NormalTerm(0, paper_db.schema[0], summary)
+        with pytest.raises(ValueError, match="cover"):
+            ModelSpec(schema=paper_db.schema, terms=(t0, t0))
+
+
+class TestParse:
+    def test_full_spec(self, tiny_db):
+        summary = DataSummary.from_database(tiny_db)
+        spec = parse_model_spec(
+            """
+            ; comment line
+            single_normal_cm x
+            single_normal_cn y   # trailing comment
+            single_multinomial c
+            """,
+            tiny_db.schema,
+            summary,
+        )
+        assert [t.spec_name for t in spec.terms] == [
+            "single_normal_cm", "single_normal_cn", "single_multinomial",
+        ]
+
+    def test_numeric_attribute_references(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        spec = parse_model_spec(
+            "single_normal_cn 0\nsingle_normal_cn 1", paper_db.schema, summary
+        )
+        assert spec.n_terms == 2
+
+    def test_multi_normal_block(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        spec = parse_model_spec(
+            "multi_normal_cn x0 x1", paper_db.schema, summary
+        )
+        assert isinstance(spec.terms[0], MultiNormalTerm)
+
+    def test_unknown_model_raises(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        with pytest.raises(ValueError, match="unknown model"):
+            parse_model_spec("super_normal x0 x1", paper_db.schema, summary)
+
+    def test_unknown_attribute_raises(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        with pytest.raises(ValueError, match="unknown attribute"):
+            parse_model_spec("single_normal_cn zz\nsingle_normal_cn x1",
+                             paper_db.schema, summary)
+
+    def test_single_term_with_two_attrs_raises(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        with pytest.raises(ValueError, match="exactly one"):
+            parse_model_spec("single_normal_cn x0 x1", paper_db.schema, summary)
+
+    def test_multinomial_on_real_raises(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        with pytest.raises(ValueError, match="discrete"):
+            parse_model_spec("single_multinomial x0\nsingle_normal_cn x1",
+                             paper_db.schema, summary)
+
+    def test_index_out_of_range_raises(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        with pytest.raises(ValueError, match="out of range"):
+            parse_model_spec("single_normal_cn 5", paper_db.schema, summary)
+
+    def test_term_without_attributes_raises(self, paper_db):
+        summary = DataSummary.from_database(paper_db)
+        with pytest.raises(ValueError, match="names no attributes"):
+            parse_model_spec("single_normal_cn", paper_db.schema, summary)
+
+
+class TestPacking:
+    def test_roundtrip(self, mixed_db, mixed_spec):
+        rng = np.random.default_rng(0)
+        wts = rng.dirichlet(np.ones(3), size=mixed_db.n_items)
+        per_term = [t.accumulate_stats(mixed_db, wts) for t in mixed_spec.terms]
+        packed = pack_stats(mixed_spec, per_term)
+        assert packed.shape == (3, mixed_spec.n_stats)
+        back = unpack_stats(mixed_spec, packed)
+        for orig, got in zip(per_term, back):
+            np.testing.assert_array_equal(orig, got)
+
+    def test_stat_slices_partition_columns(self, mixed_spec):
+        slices = mixed_spec.stat_slices()
+        cursor = 0
+        for sl, term in zip(slices, mixed_spec.terms):
+            assert sl.start == cursor
+            assert sl.stop - sl.start == term.n_stats
+            cursor = sl.stop
+        assert cursor == mixed_spec.n_stats
+
+    def test_pack_wrong_count_raises(self, mixed_spec):
+        with pytest.raises(ValueError, match="stat blocks"):
+            pack_stats(mixed_spec, [np.zeros((3, 1))])
+
+    def test_unpack_wrong_shape_raises(self, mixed_spec):
+        with pytest.raises(ValueError, match="incompatible"):
+            unpack_stats(mixed_spec, np.zeros((3, 1)))
+
+    def test_n_free_params(self, paper_spec):
+        # 2 normal terms x 2 params x J + (J - 1) mixing weights
+        assert paper_spec.n_free_params(4) == 4 * 4 + 3
+
+    def test_describe_lists_terms(self, mixed_spec):
+        text = mixed_spec.describe()
+        assert "single_multinomial" in text
+        assert str(mixed_spec.n_stats) in text

@@ -1,0 +1,217 @@
+"""Collective algorithm correctness over the thread world.
+
+Every collective is checked against its numpy one-liner for every world
+size 1..9 (covering power-of-two and odd cases) and, for allreduce,
+every algorithm.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.api import CollectiveConfig
+from repro.mpc.errors import MessageError
+from repro.mpc.reduceops import ReduceOp
+from repro.mpc.threadworld import run_spmd_threads
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 9]
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize(
+        "algo", ["recursive_doubling", "ring", "reduce_bcast"]
+    )
+    def test_sum_matches_numpy(self, size, algo):
+        def prog(comm):
+            x = np.arange(17, dtype=np.float64) * (comm.rank + 1)
+            return comm.allreduce(x)
+
+        results = run_spmd_threads(
+            prog, size, collectives=CollectiveConfig(allreduce=algo)
+        )
+        expected = np.arange(17, dtype=np.float64) * sum(range(1, size + 1))
+        for r in results:
+            np.testing.assert_allclose(r, expected, rtol=1e-12)
+
+    @pytest.mark.parametrize("op", [ReduceOp.MIN, ReduceOp.MAX, ReduceOp.PROD])
+    @pytest.mark.parametrize("size", [1, 3, 4, 6])
+    def test_other_ops(self, op, size):
+        def prog(comm):
+            x = np.array([float(comm.rank + 1), float(-comm.rank - 1)])
+            return comm.allreduce(x, op)
+
+        results = run_spmd_threads(prog, size)
+        ranks = np.arange(1, size + 1, dtype=np.float64)
+        expected = {
+            ReduceOp.MIN: np.array([ranks.min(), -ranks.max()]),
+            ReduceOp.MAX: np.array([ranks.max(), -ranks.min()]),
+            ReduceOp.PROD: np.array(
+                [ranks.prod(), np.prod(-ranks)]
+            ),
+        }[op]
+        for r in results:
+            np.testing.assert_allclose(r, expected)
+
+    def test_all_ranks_get_identical_bits(self):
+        """Recursive doubling with fixed combine orientation must give
+        bit-identical results on every rank."""
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(rng.random(100))
+
+        results = run_spmd_threads(prog, 6)
+        for r in results[1:]:
+            np.testing.assert_array_equal(r, results[0])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        size=st.integers(1, 6),
+        n=st.integers(1, 40),
+        algo=st.sampled_from(["recursive_doubling", "ring", "reduce_bcast"]),
+    )
+    def test_property_random_payloads(self, size, n, algo):
+        def prog(comm):
+            rng = np.random.default_rng(1000 + comm.rank)
+            local = rng.normal(size=n)
+            return local, comm.allreduce(local)
+
+        results = run_spmd_threads(
+            prog, size, collectives=CollectiveConfig(allreduce=algo)
+        )
+        expected = np.sum([loc for loc, _tot in results], axis=0)
+        for _loc, total in results:
+            np.testing.assert_allclose(total, expected, rtol=1e-9, atol=1e-12)
+
+    def test_unknown_algorithm_raises(self):
+        def prog(comm):
+            return comm.allreduce(np.ones(2))
+
+        with pytest.raises(RuntimeError, match="unknown allreduce"):
+            run_spmd_threads(
+                prog, 2, collectives=CollectiveConfig(allreduce="magic")
+            )
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("algo", ["binomial", "linear"])
+    def test_every_rank_receives(self, size, algo):
+        def prog(comm):
+            payload = {"data": [1, 2, 3]} if comm.rank == comm.size - 1 else None
+            return comm.bcast(payload, root=comm.size - 1)
+
+        results = run_spmd_threads(
+            prog, size, collectives=CollectiveConfig(bcast=algo)
+        )
+        assert all(r == {"data": [1, 2, 3]} for r in results)
+
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_arbitrary_roots(self, root):
+        def prog(comm):
+            return comm.bcast(comm.rank if comm.rank == root else None, root=root)
+
+        assert run_spmd_threads(prog, 3) == [root] * 3
+
+
+class TestReduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_root_gets_sum_others_none(self, size):
+        def prog(comm):
+            return comm.reduce(np.array([1.0]), root=0)
+
+        results = run_spmd_threads(prog, size)
+        assert results[0][0] == size
+        assert all(r is None for r in results[1:])
+
+    def test_nonzero_root(self):
+        def prog(comm):
+            out = comm.reduce(np.array([float(comm.rank)]), root=2)
+            return None if out is None else float(out[0])
+
+        results = run_spmd_threads(prog, 4)
+        assert results[2] == 0 + 1 + 2 + 3
+        assert results[0] is None
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather_rank_ordered(self, size):
+        def prog(comm):
+            return comm.gather(f"r{comm.rank}", root=0)
+
+        results = run_spmd_threads(prog, size)
+        assert results[0] == [f"r{i}" for i in range(size)]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        def prog(comm):
+            return comm.allgather(comm.rank * 10)
+
+        for r in run_spmd_threads(prog, size):
+            assert r == [i * 10 for i in range(size)]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter(self, size):
+        def prog(comm):
+            objs = [f"part{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert run_spmd_threads(prog, size) == [f"part{i}" for i in range(size)]
+
+    def test_scatter_wrong_length_raises(self):
+        def prog(comm):
+            objs = [1] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(RuntimeError, match="exactly"):
+            run_spmd_threads(prog, 3)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("algo", ["dissemination", "linear"])
+    def test_barrier_completes(self, size, algo):
+        def prog(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(
+            run_spmd_threads(
+                prog, size, collectives=CollectiveConfig(barrier=algo)
+            )
+        )
+
+    def test_barrier_synchronizes(self):
+        """No rank may pass the barrier before every rank has arrived."""
+        import threading
+
+        arrived = []
+        lock = threading.Lock()
+
+        def prog(comm):
+            with lock:
+                arrived.append(comm.rank)
+            comm.barrier()
+            with lock:
+                return len(arrived)
+
+        counts = run_spmd_threads(prog, 5)
+        assert all(c == 5 for c in counts)
+
+
+class TestBackToBackCollectives:
+    def test_no_crosstalk(self):
+        """Interleaved different collectives must not cross-match."""
+        def prog(comm):
+            a = comm.allreduce(np.array([1.0]))
+            b = comm.bcast("x" if comm.rank == 0 else None)
+            c = comm.allgather(comm.rank)
+            comm.barrier()
+            d = comm.allreduce(np.array([2.0]))
+            return (float(a[0]), b, c, float(d[0]))
+
+        for r in run_spmd_threads(prog, 5):
+            assert r == (5.0, "x", [0, 1, 2, 3, 4], 10.0)

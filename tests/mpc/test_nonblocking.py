@@ -1,0 +1,123 @@
+"""Tests for nonblocking point-to-point (isend/irecv/Request)."""
+
+import time
+
+import pytest
+
+from repro.mpc import run_spmd_threads, waitall
+from repro.mpc.api import ANY_SOURCE, CompletedRequest
+from repro.mpc.errors import MessageError
+from repro.mpc.serial import SerialComm
+
+
+class TestRequestsThreadWorld:
+    def test_irecv_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(src, 7) for src in range(1, comm.size)]
+                return waitall(reqs)
+            comm.send(comm.rank * 10, 0, tag=7)
+            return None
+
+        assert run_spmd_threads(prog, 4)[0] == [10, 20, 30]
+
+    def test_irecv_test_polls(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1, 3)
+                polls = 0
+                while True:
+                    done, val = req.test()
+                    if done:
+                        return polls, val
+                    polls += 1
+                    time.sleep(0.001)
+            time.sleep(0.02)  # make rank 0 poll at least once
+            comm.send("late", 0, tag=3)
+            return None
+
+        polls, val = run_spmd_threads(prog, 2)[0]
+        assert val == "late"
+        assert polls >= 1
+
+    def test_wait_idempotent(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1, 1)
+                return req.wait(), req.wait()  # second wait returns cached
+            comm.send(42, 0, tag=1)
+            return None
+
+        assert run_spmd_threads(prog, 2)[0] == (42, 42)
+
+    def test_isend_complete_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend("x", 1, tag=5)
+                done, payload = req.test()
+                assert done and payload is None
+                assert req.wait() is None
+                return True
+            return comm.recv(0, 5)
+
+        results = run_spmd_threads(prog, 2)
+        assert results == [True, "x"]
+
+    def test_irecv_any_source(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(ANY_SOURCE, 9) for _ in range(comm.size - 1)]
+                return sorted(waitall(reqs))
+            comm.send(comm.rank, 0, tag=9)
+            return None
+
+        assert run_spmd_threads(prog, 4)[0] == [1, 2, 3]
+
+    def test_deferred_matching_order(self):
+        """irecv matching happens at wait time, in wait order, honoring
+        per-sender FIFO."""
+        def prog(comm):
+            if comm.rank == 0:
+                r1 = comm.irecv(1, 2)
+                r2 = comm.irecv(1, 2)
+                # Wait in reverse creation order: matching is FIFO by
+                # send order regardless.
+                second = r2.wait()
+                first = r1.wait()
+                return first, second
+            comm.send("a", 0, tag=2)
+            comm.send("b", 0, tag=2)
+            return None
+
+        first, second = run_spmd_threads(prog, 2)[0]
+        assert {first, second} == {"a", "b"}
+
+    def test_stats_counted_via_test(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1, 4)
+                while not req.test()[0]:
+                    time.sleep(0.001)
+                return comm.stats.n_recvs
+            comm.send(b"12345678", 0, tag=4)
+            return None
+
+        assert run_spmd_threads(prog, 2)[0] == 1
+
+
+class TestRequestsSerial:
+    def test_serial_irecv_roundtrip(self):
+        comm = SerialComm()
+        comm.send("v", 0, tag=1)
+        req = comm.irecv(0, 1)
+        done, val = req.test()
+        assert done and val == "v"
+
+    def test_serial_test_empty(self):
+        req = SerialComm().irecv(0, 1)
+        assert req.test() == (False, None)
+
+    def test_completed_request_payload(self):
+        req = CompletedRequest("payload")
+        assert req.wait() == "payload"
+        assert req.test() == (True, "payload")

@@ -1,0 +1,70 @@
+"""Tests for repro.mpc.reduceops."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.reduceops import ReduceOp, combine, identity_like
+
+
+class TestCombine:
+    def test_sum_arrays(self):
+        out = combine(np.array([1.0, 2.0]), np.array([3.0, 4.0]), ReduceOp.SUM)
+        np.testing.assert_array_equal(out, [4.0, 6.0])
+
+    def test_prod_min_max(self):
+        a, b = np.array([2.0, -1.0]), np.array([3.0, 5.0])
+        np.testing.assert_array_equal(combine(a, b, ReduceOp.PROD), [6.0, -5.0])
+        np.testing.assert_array_equal(combine(a, b, ReduceOp.MIN), [2.0, -1.0])
+        np.testing.assert_array_equal(combine(a, b, ReduceOp.MAX), [3.0, 5.0])
+
+    def test_scalars_stay_scalars(self):
+        out = combine(2.5, 3.5, ReduceOp.SUM)
+        assert out == 6.0
+        assert np.isscalar(out)
+
+    def test_does_not_mutate_inputs(self):
+        a = np.array([1.0])
+        b = np.array([2.0])
+        combine(a, b, ReduceOp.SUM)
+        assert a[0] == 1.0 and b[0] == 2.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shapes"):
+            combine(np.zeros(2), np.zeros(3), ReduceOp.SUM)
+
+    def test_2d_arrays(self):
+        a = np.ones((2, 3))
+        out = combine(a, a, ReduceOp.SUM)
+        np.testing.assert_array_equal(out, 2 * np.ones((2, 3)))
+
+
+class TestIdentity:
+    def test_sum_identity(self):
+        x = np.array([5.0, -1.0])
+        np.testing.assert_array_equal(
+            combine(x, identity_like(x, ReduceOp.SUM), ReduceOp.SUM), x
+        )
+
+    def test_prod_identity(self):
+        x = np.array([5.0, -1.0])
+        np.testing.assert_array_equal(
+            combine(x, identity_like(x, ReduceOp.PROD), ReduceOp.PROD), x
+        )
+
+    def test_min_max_identities_float(self):
+        x = np.array([5.0, -1.0])
+        np.testing.assert_array_equal(
+            combine(x, identity_like(x, ReduceOp.MIN), ReduceOp.MIN), x
+        )
+        np.testing.assert_array_equal(
+            combine(x, identity_like(x, ReduceOp.MAX), ReduceOp.MAX), x
+        )
+
+    def test_min_max_identities_int(self):
+        x = np.array([5, -1], dtype=np.int64)
+        np.testing.assert_array_equal(
+            combine(x, identity_like(x, ReduceOp.MIN), ReduceOp.MIN), x
+        )
+        np.testing.assert_array_equal(
+            combine(x, identity_like(x, ReduceOp.MAX), ReduceOp.MAX), x
+        )

@@ -1,0 +1,298 @@
+"""Tests for repro.simnet.simworld — the virtual-time world itself."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.api import CollectiveConfig
+from repro.simnet.machine import meiko_cs2
+from repro.simnet.simworld import run_spmd_sim
+from repro.simnet.workmodel import WorkModel
+
+MACHINE = meiko_cs2(8)
+
+
+class TestModeledMode:
+    def test_deterministic(self):
+        def prog(comm):
+            comm.charge(0.01 * (comm.rank + 1))
+            comm.allreduce(np.ones(100))
+            return comm.wtime()
+
+        a = run_spmd_sim(prog, 5, MACHINE, compute_mode="modeled")
+        b = run_spmd_sim(prog, 5, MACHINE, compute_mode="modeled")
+        assert a.clocks == b.clocks
+        assert a.results == b.results
+
+    def test_charge_advances_clock(self):
+        def prog(comm):
+            t0 = comm.wtime()
+            comm.charge(0.5)
+            return comm.wtime() - t0
+
+        run = run_spmd_sim(prog, 2, MACHINE, compute_mode="modeled")
+        assert all(r == pytest.approx(0.5) for r in run.results)
+
+    def test_negative_charge_rejected(self):
+        def prog(comm):
+            comm.charge(-1.0)
+
+        with pytest.raises(RuntimeError, match="negative"):
+            run_spmd_sim(prog, 1, MACHINE, compute_mode="modeled")
+
+    def test_python_compute_costs_nothing(self):
+        """In modeled mode, real host work must not move the clock."""
+        def prog(comm):
+            x = np.random.default_rng(0).random((300, 300))
+            for _ in range(3):
+                x = x @ x * 1e-3
+            comm.barrier()
+            return comm.wtime()
+
+        run = run_spmd_sim(prog, 2, MACHINE, compute_mode="modeled")
+        # Only the barrier's messages should be priced (well under 1s).
+        assert all(r < 0.1 for r in run.results)
+
+
+class TestCausality:
+    def test_receiver_waits_for_wire_time(self):
+        """recv clock >= sender's send clock + full message cost."""
+        nbytes = 1_000_000
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.charge(1.0)
+                comm.send(np.zeros(nbytes // 8), 1, tag=0)
+                return comm.wtime()
+            comm.recv(0, 0)
+            return comm.wtime()
+
+        run = run_spmd_sim(prog, 2, MACHINE, compute_mode="modeled")
+        expected_min = (
+            1.0
+            + MACHINE.send_overhead
+            + MACHINE.latency
+            + nbytes / MACHINE.bandwidth
+        )
+        assert run.results[1] >= expected_min
+
+    def test_sender_does_not_block(self):
+        """Sends are buffered: the sender pays only its overhead."""
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(1_000_000), 1, tag=0)
+                return comm.wtime()
+            comm.charge(2.0)  # receiver is busy for a long time
+            comm.recv(0, 0)
+            return comm.wtime()
+
+        run = run_spmd_sim(prog, 2, MACHINE, compute_mode="modeled")
+        assert run.results[0] < 0.01  # overhead only
+        assert run.results[1] >= 2.0
+
+    def test_clock_never_goes_backward(self):
+        def prog(comm):
+            marks = []
+            for i in range(5):
+                comm.charge(0.001 * comm.rank)
+                comm.barrier()
+                marks.append(comm.wtime())
+            return marks
+
+        run = run_spmd_sim(prog, 4, MACHINE, compute_mode="modeled")
+        for marks in run.results:
+            assert marks == sorted(marks)
+
+    def test_barrier_aligns_to_slowest(self):
+        def prog(comm):
+            comm.charge(1.0 if comm.rank == 3 else 0.0)
+            comm.barrier()
+            return comm.wtime()
+
+        run = run_spmd_sim(prog, 4, MACHINE, compute_mode="modeled")
+        assert all(r >= 1.0 for r in run.results)
+
+
+class TestCountedMode:
+    def test_work_reports_priced(self):
+        """Kernels' work reports become clock charges via the hooks."""
+        from repro.util import workhooks
+
+        work = WorkModel()
+
+        def prog(comm):
+            workhooks.report("wts", 10_000, 8, 6)
+            return comm.wtime()
+
+        run = run_spmd_sim(
+            prog, 2, MACHINE, compute_mode="counted", work_model=work
+        )
+        expected = work.wts_seconds(10_000, 8, 6)
+        assert all(r == pytest.approx(expected) for r in run.results)
+
+    def test_real_engine_cycle_priced(self, paper_db, paper_spec):
+        from repro.data.partition import block_partition
+        from repro.parallel.pcycle import parallel_base_cycle
+        from repro.parallel.psearch import parallel_initial_classification
+        from repro.util.rng import spawn_rng
+
+        def prog(comm):
+            local = block_partition(paper_db, comm.size, comm.rank)
+            clf = parallel_initial_classification(
+                local, paper_spec, 4, paper_db.n_items, spawn_rng(0), comm
+            )
+            clf, _, _ = parallel_base_cycle(local, clf, paper_db.n_items, comm)
+            return comm.wtime()
+
+        run = run_spmd_sim(prog, 4, MACHINE, compute_mode="counted")
+        work = WorkModel()
+        per_rank_items = paper_db.n_items // 4
+        floor = work.cycle_seconds(per_rank_items, 4, paper_spec.n_stats)
+        assert all(r >= floor for r in run.results)
+
+    def test_counted_partition_scaling(self, paper_db):
+        """Virtual elapsed must shrink with more ranks (counted mode)."""
+        from repro.data.partition import block_partition
+        from repro.models.registry import ModelSpec
+        from repro.models.summary import DataSummary
+        from repro.parallel.pcycle import parallel_base_cycle
+        from repro.parallel.psearch import parallel_initial_classification
+        from repro.util.rng import spawn_rng
+
+        def prog(comm):
+            spec = ModelSpec.default_for(
+                paper_db.schema, DataSummary.from_database(paper_db)
+            )
+            local = block_partition(paper_db, comm.size, comm.rank)
+            clf = parallel_initial_classification(
+                local, spec, 4, paper_db.n_items, spawn_rng(0), comm
+            )
+            for _ in range(3):
+                clf, _, _ = parallel_base_cycle(local, clf, paper_db.n_items, comm)
+            return None
+
+        # Low-latency machine so compute dominates at this small size.
+        machine = meiko_cs2(8, latency=1e-6)
+        t2 = run_spmd_sim(prog, 2, machine, compute_mode="counted").elapsed
+        t8 = run_spmd_sim(prog, 8, machine, compute_mode="counted").elapsed
+        assert t8 < t2 / 2.5
+
+
+class TestMeasuredMode:
+    def test_compute_measured_and_scaled(self):
+        def prog(comm):
+            x = np.random.default_rng(0).random(500_000)
+            for _ in range(20):
+                x = np.sqrt(np.abs(x) + 1.0)
+            comm.barrier()
+            return None
+
+        run = run_spmd_sim(prog, 1, meiko_cs2(1, cpu_scale=10.0))
+        assert run.compute_seconds[0] > 0
+
+    def test_blocked_time_not_charged_as_compute(self):
+        """A rank waiting in recv must not accumulate compute time."""
+        def prog(comm):
+            if comm.rank == 0:
+                x = np.random.default_rng(0).random(300_000)
+                for _ in range(30):
+                    x = np.sqrt(x + 1.0)
+                comm.send(None, 1, tag=0)
+                return None
+            comm.recv(0, 0)  # waits while rank 0 computes
+            return comm.compute_seconds
+
+        run = run_spmd_sim(prog, 2, meiko_cs2(2, cpu_scale=10.0))
+        assert run.results[1] < run.compute_seconds[0] / 5
+
+
+class TestRunResult:
+    def test_elapsed_is_max_clock(self):
+        def prog(comm):
+            comm.charge(float(comm.rank))
+            return None
+
+        run = run_spmd_sim(prog, 4, MACHINE, compute_mode="modeled")
+        assert run.elapsed == max(run.clocks)
+        assert run.elapsed == pytest.approx(3.0)
+
+    def test_stats_and_bytes(self):
+        def prog(comm):
+            comm.allreduce(np.zeros(128))
+            return None
+
+        run = run_spmd_sim(prog, 4, MACHINE, compute_mode="modeled")
+        assert run.total_bytes > 0
+        assert len(run.stats) == 4
+
+    def test_comm_fraction_bounds(self):
+        def prog(comm):
+            comm.charge(0.1)
+            comm.allreduce(np.zeros(8))
+            return None
+
+        run = run_spmd_sim(prog, 4, MACHINE, compute_mode="modeled")
+        assert 0.0 <= run.comm_fraction <= 1.0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="compute_mode"):
+            run_spmd_sim(lambda c: None, 1, MACHINE, compute_mode="bogus")
+
+    def test_machine_too_small_rejected(self):
+        with pytest.raises(ValueError, match="processors"):
+            run_spmd_sim(lambda c: None, 4, meiko_cs2(2))
+
+
+@pytest.mark.slow
+class TestMeasuredModeCrossValidation:
+    def test_measured_mode_shows_real_speedup_at_scale(self):
+        """Counted mode is the default for experiments; this guards that
+        measured mode (scaled real CPU time) shows genuine partition
+        speedup once partitions are large enough to amortize numpy's
+        per-call overhead — i.e. the counted model isn't inventing the
+        effect."""
+        from repro.data.partition import block_partition
+        from repro.data.synth import make_paper_database
+        from repro.models.registry import ModelSpec
+        from repro.models.summary import DataSummary
+        from repro.parallel.pcycle import parallel_base_cycle
+        from repro.parallel.psearch import parallel_initial_classification
+        from repro.util.rng import spawn_rng
+
+        db = make_paper_database(60_000, seed=3)
+        # Spec built once outside the SPMD program: the replicated
+        # summary/init work would otherwise eat the parallel fraction.
+        spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+
+        def prog(comm):
+            local = block_partition(db, comm.size, comm.rank)
+            clf = parallel_initial_classification(
+                local, spec, 8, db.n_items, spawn_rng(0), comm,
+                method="sharp",
+            )
+            # Time only the cycles: initialization is replicated work
+            # (the full-range weight draw) and would dilute the signal.
+            t0 = comm.wtime()
+            for _ in range(3):
+                clf, _, _ = parallel_base_cycle(local, clf, db.n_items, comm)
+            return comm.wtime() - t0
+
+        machine1 = meiko_cs2(1, cpu_scale=10.0)
+        machine8 = meiko_cs2(8, cpu_scale=10.0, latency=1e-5)
+        # Compare measured *compute* (per-thread CPU), which is immune
+        # to the elapsed-time jitter of a loaded 1-core host; best-of-3.
+        ratios = []
+        for _attempt in range(3):
+            c1 = max(
+                run_spmd_sim(
+                    prog, 1, machine1, compute_mode="measured"
+                ).compute_seconds
+            )
+            c8 = max(
+                run_spmd_sim(
+                    prog, 8, machine8, compute_mode="measured"
+                ).compute_seconds
+            )
+            ratios.append(c1 / c8)
+            if ratios[-1] > 3.0:
+                break
+        assert max(ratios) > 3.0, ratios

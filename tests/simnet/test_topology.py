@@ -1,0 +1,81 @@
+"""Tests for repro.simnet.topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.topology import Crossbar, FatTree, Hypercube, Mesh2D, Ring
+
+ALL_TOPOLOGIES = [FatTree, Mesh2D, Hypercube, Ring, Crossbar]
+
+
+class TestMetricProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        topo_cls=st.sampled_from(ALL_TOPOLOGIES),
+        n=st.integers(1, 20),
+    )
+    def test_hops_is_a_metric(self, topo_cls, n):
+        """Zero diagonal, symmetry, triangle inequality."""
+        topo = topo_cls(n)
+        for a in range(n):
+            assert topo.hops(a, a) == 0
+            for b in range(n):
+                assert topo.hops(a, b) == topo.hops(b, a)
+                assert topo.hops(a, b) >= (1 if a != b else 0)
+        for a in range(min(n, 6)):
+            for b in range(min(n, 6)):
+                for c in range(min(n, 6)):
+                    assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Ring(4).hops(0, 4)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            Ring(0)
+
+
+class TestSpecificTopologies:
+    def test_ring_distances(self):
+        r = Ring(6)
+        assert r.hops(0, 3) == 3
+        assert r.hops(0, 5) == 1  # wraps
+        assert r.diameter == 3
+
+    def test_hypercube_hamming(self):
+        h = Hypercube(8)
+        assert h.hops(0b000, 0b111) == 3
+        assert h.hops(0b010, 0b011) == 1
+        assert h.diameter == 3
+
+    def test_crossbar_single_hop(self):
+        c = Crossbar(10)
+        assert c.diameter == 1
+        assert c.mean_hops == 1.0
+
+    def test_mesh_2d_manhattan(self):
+        m = Mesh2D(9)  # 3x3 grid
+        assert m.diameter == 4  # corner to corner
+
+    def test_fat_tree_leaves_route_through_switches(self):
+        ft = FatTree(10, arity=4)
+        # height 2 tree: two leaves under different first-level switches
+        # are 4 hops apart; max is bounded by 2 * height.
+        assert 2 <= ft.diameter <= 4
+
+    def test_fat_tree_same_switch_short(self):
+        ft = FatTree(4, arity=4)
+        # all 4 procs fit under one switch of a height-1 tree
+        assert ft.diameter == 2
+
+    def test_fat_tree_arity_validation(self):
+        with pytest.raises(ValueError, match="arity"):
+            FatTree(4, arity=1)
+
+    def test_single_node_everywhere(self):
+        for cls in ALL_TOPOLOGIES:
+            topo = cls(1)
+            assert topo.diameter == 0
+            assert topo.mean_hops == 0.0

@@ -1,0 +1,153 @@
+"""Tests for the public facade (repro.api) and the package surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import AutoClass, PAutoClass, make_paper_database
+from repro.engine.search import SearchConfig
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_paper_database(400, seed=31)
+
+
+@pytest.fixture(scope="module")
+def fitted(db):
+    ac = AutoClass(start_j_list=(2, 3), max_n_tries=2, seed=1, max_cycles=30)
+    ac.fit(db)
+    return ac
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestAutoClass:
+    def test_fit_returns_result(self, db, fitted):
+        assert len(fitted.result_.tries) == 2
+        assert fitted.best_.scores is not None
+
+    def test_predict_shapes(self, db, fitted):
+        proba = fitted.predict_proba(db)
+        hard = fitted.predict(db)
+        assert proba.shape == (db.n_items, fitted.best_.n_classes)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert hard.shape == (db.n_items,)
+
+    def test_report_text(self, fitted):
+        assert "Classes by weight" in fitted.report()
+
+    def test_unfitted_raises(self):
+        ac = AutoClass()
+        with pytest.raises(RuntimeError, match="fit"):
+            _ = ac.best_
+        with pytest.raises(RuntimeError, match="fit"):
+            ac.report()
+
+    def test_config_kwargs_forwarded(self):
+        ac = AutoClass(start_j_list=(5,), seed=9)
+        assert ac.config.start_j_list == (5,)
+        assert ac.config.seed == 9
+
+    def test_bad_config_kwargs_raise(self):
+        with pytest.raises(TypeError):
+            AutoClass(not_a_knob=1)
+
+
+class TestPAutoClass:
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            PAutoClass(backend="quantum")
+        with pytest.raises(ValueError, match="n_processors"):
+            PAutoClass(n_processors=0)
+
+    def test_serial_backend_needs_one_proc(self, db):
+        with pytest.raises(ValueError, match="exactly 1"):
+            PAutoClass(n_processors=2, backend="serial").fit(db)
+
+    def test_serial_matches_sequential(self, db, fitted):
+        pac = PAutoClass(
+            n_processors=1, backend="serial",
+            start_j_list=(2, 3), max_n_tries=2, seed=1, max_cycles=30,
+        )
+        run = pac.fit(db)
+        assert run.result.best.score == pytest.approx(
+            fitted.result_.best.score, rel=1e-12
+        )
+
+    def test_threads_backend(self, db, fitted):
+        pac = PAutoClass(
+            n_processors=3, backend="threads",
+            start_j_list=(2, 3), max_n_tries=2, seed=1, max_cycles=30,
+        )
+        run = pac.fit(db)
+        assert run.backend == "threads"
+        assert run.sim_elapsed is None
+        assert run.result.best.score == pytest.approx(
+            fitted.result_.best.score, rel=1e-9
+        )
+
+    def test_sim_backend_reports_elapsed(self, db, fitted):
+        pac = PAutoClass(
+            n_processors=4, backend="sim",
+            start_j_list=(2, 3), max_n_tries=2, seed=1, max_cycles=30,
+        )
+        run = pac.fit(db)
+        assert run.sim_elapsed is not None and run.sim_elapsed > 0
+        assert run.result.best.score == pytest.approx(
+            fitted.result_.best.score, rel=1e-9
+        )
+
+    def test_predict_after_fit(self, db):
+        pac = PAutoClass(
+            n_processors=2, backend="threads",
+            start_j_list=(2,), max_n_tries=1, seed=3, max_cycles=15,
+        )
+        pac.fit(db)
+        assert pac.predict(db).shape == (db.n_items,)
+        assert "Classes by weight" in pac.report()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            _ = PAutoClass().best_
+
+
+class TestSearchConfigIntegration:
+    def test_facade_and_direct_config_agree(self, db):
+        cfg = SearchConfig(start_j_list=(2,), max_n_tries=1, seed=4, max_cycles=10)
+        from repro.engine.search import run_search
+
+        direct = run_search(db, cfg)
+        ac = AutoClass(start_j_list=(2,), max_n_tries=1, seed=4, max_cycles=10)
+        ac.fit(db)
+        assert ac.result_.best.score == direct.best.score
+
+
+class TestTracing:
+    def test_trace_requires_sim_backend(self):
+        with pytest.raises(ValueError, match="sim"):
+            PAutoClass(backend="threads", trace=True)
+
+    def test_sim_trace_produces_timeline(self, db):
+        pac = PAutoClass(
+            n_processors=3, backend="sim", trace=True,
+            start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=5,
+        )
+        run = pac.fit(db)
+        assert run.timeline is not None
+        assert "timeline:" in run.timeline
+        assert "wait share" in run.timeline
+
+    def test_no_trace_by_default(self, db):
+        pac = PAutoClass(
+            n_processors=2, backend="sim",
+            start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=5,
+        )
+        assert pac.fit(db).timeline is None

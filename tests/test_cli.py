@@ -1,0 +1,201 @@
+"""Tests for the pautoclass CLI."""
+
+import pytest
+
+from repro.cli import _parse_j_list, build_parser, main
+
+
+class TestParser:
+    def test_j_list_parsing(self):
+        assert _parse_j_list("2,4,8") == (2, 4, 8)
+
+    def test_j_list_trailing_comma_ok(self):
+        assert _parse_j_list("2,4,") == (2, 4)
+
+    def test_j_list_garbage_raises(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_j_list("2,banana")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_j_list(",")
+
+    def test_run_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_sources_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--data", "x", "--synthetic", "10"]
+            )
+
+    def test_experiments_which_choices(self):
+        args = build_parser().parse_args(["experiments", "--which", "fig7"])
+        assert args.which == "fig7"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--which", "fig99"])
+
+
+class TestCommands:
+    def test_synth_writes_files(self, tmp_path, capsys):
+        out = tmp_path / "data"
+        assert main(["synth", "--items", "40", "--out", str(out)]) == 0
+        assert out.with_suffix(".hd2").exists()
+        assert out.with_suffix(".db2").exists()
+        assert "40 items" in capsys.readouterr().out
+
+    def test_run_on_written_database(self, tmp_path, capsys):
+        out = tmp_path / "data"
+        main(["synth", "--items", "60", "--out", str(out), "--seed", "3"])
+        code = main(
+            ["run", "--data", str(out), "--j-list", "2", "--seed", "1",
+             "--max-cycles", "10"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Search: 1 tries" in text
+        assert "Classes by weight" in text
+
+    def test_run_synthetic_sequential(self, capsys):
+        code = main(
+            ["run", "--synthetic", "80", "--j-list", "2", "--seed", "2",
+             "--max-cycles", "8"]
+        )
+        assert code == 0
+        assert "logP(X|T)" in capsys.readouterr().out
+
+    def test_run_sim_backend_prints_elapsed(self, capsys):
+        code = main(
+            ["run", "--synthetic", "80", "--j-list", "2", "--seed", "2",
+             "--max-cycles", "8", "--backend", "sim", "--procs", "3"]
+        )
+        assert code == 0
+        assert "simulated elapsed" in capsys.readouterr().out
+
+    def test_run_threads_backend(self, capsys):
+        code = main(
+            ["run", "--synthetic", "60", "--j-list", "2", "--seed", "2",
+             "--max-cycles", "6", "--backend", "threads", "--procs", "2"]
+        )
+        assert code == 0
+
+
+class TestNewFlags:
+    def test_model_search_flag(self, capsys):
+        code = main(
+            ["run", "--synthetic", "120", "--j-list", "2", "--seed", "4",
+             "--max-cycles", "8", "--model-search"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Model-level search" in out
+        assert "independent" in out and "correlated" in out
+
+    def test_save_results_flag(self, tmp_path, capsys):
+        path = tmp_path / "run.results.json"
+        code = main(
+            ["run", "--synthetic", "100", "--j-list", "2", "--seed", "4",
+             "--max-cycles", "6", "--save-results", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        from repro.engine.results_io import load_search_result
+
+        loaded = load_search_result(path)
+        assert len(loaded.tries) == 1
+
+    def test_save_results_on_parallel_backend(self, tmp_path):
+        path = tmp_path / "p.results.json"
+        code = main(
+            ["run", "--synthetic", "90", "--j-list", "2", "--seed", "4",
+             "--max-cycles", "6", "--backend", "threads", "--procs", "2",
+             "--save-results", str(path)]
+        )
+        assert code == 0 and path.exists()
+
+    def test_experiments_new_choices_accepted(self):
+        args = build_parser().parse_args(["experiments", "--which", "b1"])
+        assert args.which == "b1"
+        args = build_parser().parse_args(["experiments", "--which", "a5"])
+        assert args.which == "a5"
+
+
+class TestTraceFlag:
+    def test_trace_prints_timeline(self, capsys):
+        code = main(
+            ["run", "--synthetic", "80", "--j-list", "2", "--seed", "2",
+             "--max-cycles", "5", "--backend", "sim", "--procs", "2",
+             "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out and "rank  0" in out
+
+
+class TestPredictCommand:
+    def _fit(self, tmp_path):
+        base = tmp_path / "d"
+        main(["synth", "--items", "80", "--out", str(base), "--seed", "5"])
+        results = tmp_path / "r.json"
+        main(["run", "--data", str(base), "--j-list", "2", "--seed", "1",
+              "--max-cycles", "8", "--save-results", str(results)])
+        return base, results
+
+    def test_predict_to_stdout(self, tmp_path, capsys):
+        base, results = self._fit(tmp_path)
+        capsys.readouterr()
+        code = main(["predict", "--results", str(results), "--data", str(base)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("item,class")
+        assert len(out.strip().splitlines()) == 81  # header + 80 items
+
+    def test_predict_with_probabilities(self, tmp_path, capsys):
+        base, results = self._fit(tmp_path)
+        capsys.readouterr()
+        main(["predict", "--results", str(results), "--data", str(base),
+              "--proba"])
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert header == "item,class,p0,p1"
+        row = out.splitlines()[1].split(",")
+        probs = [float(x) for x in row[2:]]
+        assert sum(probs) == pytest.approx(1.0, abs=1e-4)
+
+    def test_predict_to_file(self, tmp_path, capsys):
+        base, results = self._fit(tmp_path)
+        out_path = tmp_path / "pred.csv"
+        code = main(["predict", "--results", str(results), "--data", str(base),
+                     "--out", str(out_path)])
+        assert code == 0
+        assert out_path.read_text().startswith("item,class")
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        _, results = self._fit(tmp_path)
+        other = tmp_path / "other"
+        # Different schema: 3 clusters synth uses the same 2-attr schema,
+        # so craft a mismatched header instead.
+        from repro.data.attributes import AttributeSet, RealAttribute
+        from repro.data.database import Database
+        from repro.data.io import save_database
+        import numpy as np
+
+        schema = AttributeSet((RealAttribute("zz"),))
+        db = Database.from_columns(schema, [np.arange(5.0)])
+        save_database(db, other)
+        with pytest.raises(SystemExit, match="schema mismatch"):
+            main(["predict", "--results", str(results), "--data", str(other)])
+
+
+class TestReportOut:
+    def test_rlog_written(self, tmp_path, capsys):
+        path = tmp_path / "run.rlog"
+        code = main(
+            ["run", "--synthetic", "100", "--j-list", "2", "--seed", "3",
+             "--max-cycles", "6", "--report-out", str(path)]
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "P-AutoClass classification report" in text
+        assert "CLASS 0" in text

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the public face of the library; these tests keep them from
+rotting.  They run each script's ``main()`` in-process (so coverage and
+import errors surface normally).  The satellite example is the heavy
+one (~1 min) and is additionally marked slow.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "parallel == sequential: True" in out
+        assert "simulated elapsed" in out
+
+    def test_protein_classes(self, capsys):
+        run_example("protein_classes.py")
+        out = capsys.readouterr().out
+        assert "confusion" in out
+        assert "single_normal_cm" in out
+
+    def test_model_selection(self, capsys):
+        run_example("model_selection.py")
+        out = capsys.readouterr().out
+        assert "correlated" in out
+        assert "reloaded model assigns" in out
+
+    def test_scaling_study(self, capsys):
+        run_example("scaling_study.py")
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "peaks at" in out
+
+    def test_satellite_segmentation(self, capsys):
+        run_example("satellite_segmentation.py")
+        out = capsys.readouterr().out
+        assert "segmentation purity" in out
+        assert "speedup" in out

@@ -1,0 +1,121 @@
+"""Tests for repro.util.logspace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy.special import logsumexp as scipy_logsumexp
+
+from repro.util.logspace import (
+    LOG_FLOOR,
+    log_dirichlet_norm,
+    log_normalize_rows,
+    logsumexp,
+    logsumexp_rows,
+    safe_log,
+)
+
+finite_rows = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 20), st.integers(1, 8)),
+    elements=st.floats(-500, 500),
+)
+
+
+class TestSafeLog:
+    def test_positive_values(self):
+        x = np.array([1.0, np.e, 10.0])
+        np.testing.assert_allclose(safe_log(x), [0.0, 1.0, np.log(10.0)])
+
+    def test_zero_maps_to_floor(self):
+        assert safe_log(np.array([0.0]))[0] == LOG_FLOOR
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            safe_log(np.array([-0.1]))
+
+    def test_scalar_input(self):
+        assert safe_log(1.0) == pytest.approx(0.0)
+
+    def test_mixed_zero_and_positive(self):
+        out = safe_log(np.array([0.0, 2.0, 0.0]))
+        assert out[0] == LOG_FLOOR and out[2] == LOG_FLOOR
+        assert out[1] == pytest.approx(np.log(2.0))
+
+
+class TestLogsumexp:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(7, 5)) * 100
+        np.testing.assert_allclose(
+            logsumexp(a, axis=1), scipy_logsumexp(a, axis=1)
+        )
+        np.testing.assert_allclose(logsumexp(a), scipy_logsumexp(a))
+
+    def test_all_neg_inf_slice(self):
+        a = np.full((3, 2), -np.inf)
+        out = logsumexp(a, axis=1)
+        assert np.all(np.isneginf(out))
+
+    def test_extreme_magnitudes_no_overflow(self):
+        a = np.array([[1e4, 1e4 - 1.0]])
+        out = logsumexp(a, axis=1)
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(1e4 + np.log(1 + np.exp(-1.0)))
+
+    def test_single_element(self):
+        assert logsumexp(np.array([3.5])) == pytest.approx(3.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(finite_rows)
+    def test_bounds_property(self, a):
+        """max <= logsumexp <= max + log(n)."""
+        out = np.asarray(logsumexp(a, axis=1))
+        mx = a.max(axis=1)
+        assert np.all(out >= mx - 1e-9)
+        assert np.all(out <= mx + np.log(a.shape[1]) + 1e-9)
+
+    def test_rows_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            logsumexp_rows(np.zeros(3))
+
+
+class TestLogNormalizeRows:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        log_p = rng.normal(size=(50, 4)) * 50
+        wts, log_z = log_normalize_rows(log_p)
+        np.testing.assert_allclose(wts.sum(axis=1), 1.0, atol=1e-12)
+        assert log_z.shape == (50,)
+
+    def test_matches_direct_computation(self):
+        log_p = np.log(np.array([[0.2, 0.8], [0.5, 0.5]]))
+        wts, log_z = log_normalize_rows(log_p)
+        np.testing.assert_allclose(wts, [[0.2, 0.8], [0.5, 0.5]], atol=1e-12)
+        np.testing.assert_allclose(log_z, 0.0, atol=1e-12)
+
+    def test_all_neg_inf_row_becomes_uniform(self):
+        log_p = np.array([[-np.inf, -np.inf, -np.inf], [0.0, 0.0, 0.0]])
+        wts, _ = log_normalize_rows(log_p)
+        np.testing.assert_allclose(wts[0], 1.0 / 3.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(finite_rows)
+    def test_normalization_property(self, log_p):
+        wts, log_z = log_normalize_rows(log_p)
+        np.testing.assert_allclose(wts.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(wts >= 0)
+        assert np.all(np.isfinite(log_z))
+
+
+class TestLogDirichletNorm:
+    def test_uniform_alpha_known_value(self):
+        # B((1,1)) = Gamma(1)Gamma(1)/Gamma(2) = 1
+        assert log_dirichlet_norm(np.array([1.0, 1.0])) == pytest.approx(0.0)
+
+    def test_beta_function_case(self):
+        # B((2,3)) = 1!2!/4! = 1/12
+        assert log_dirichlet_norm(np.array([2.0, 3.0])) == pytest.approx(
+            np.log(1 / 12)
+        )

@@ -1,0 +1,107 @@
+"""Tests for repro.util.metrics (clustering evaluation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.metrics import adjusted_rand_index, confusion_matrix, purity
+
+label_pairs = st.integers(2, 200).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+    )
+)
+
+
+class TestConfusionMatrix:
+    def test_basic_counts(self):
+        a = [0, 0, 1, 1]
+        b = [1, 1, 0, 1]
+        table = confusion_matrix(a, b)
+        np.testing.assert_array_equal(table, [[0, 2], [1, 1]])
+
+    def test_non_dense_labels(self):
+        table = confusion_matrix([10, 10, 99], ["x", "y", "y"])
+        np.testing.assert_array_equal(table, [[1, 1], [0, 1]])
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, 50)
+        b = rng.integers(0, 4, 50)
+        assert confusion_matrix(a, b).sum() == 50
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            confusion_matrix([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            confusion_matrix([], [])
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_known_value(self):
+        # cluster 0: {a,a,b} majority 2; cluster 1: {b,b} majority 2
+        assert purity([0, 0, 0, 1, 1], ["a", "a", "b", "b", "b"]) == 0.8
+
+    def test_single_cluster_prediction(self):
+        assert purity([0, 0, 0, 0], [0, 0, 1, 1]) == 0.5
+
+    def test_bounds_property(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a = rng.integers(0, 4, 60)
+            b = rng.integers(0, 4, 60)
+            assert 0.0 < purity(a, b) <= 1.0
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        labels = [0, 0, 1, 1, 2]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [5, 5, 9, 9, 1, 1]  # same partition, different ids
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_known_textbook_value(self):
+        # Hubert & Arabie style example, cross-checked against sklearn:
+        # ARI([0,0,1,1], [0,0,1,2]) = 0.5714285714...
+        ari = adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 2])
+        assert ari == pytest.approx(4.0 / 7.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 3, 80)
+        b = rng.integers(0, 5, 80)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(4)
+        values = [
+            adjusted_rand_index(rng.integers(0, 3, 500), rng.integers(0, 3, 500))
+            for _ in range(10)
+        ]
+        assert abs(float(np.mean(values))) < 0.05
+
+    def test_degenerate_single_cluster(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == 1.0
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            adjusted_rand_index([0], [0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_pairs)
+    def test_bounded_above_by_one(self, pair):
+        a, b = pair
+        ari = adjusted_rand_index(a, b)
+        assert ari <= 1.0 + 1e-12

@@ -1,0 +1,46 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long"], [(1, 2), (333, 4)])
+        lines = out.splitlines()
+        # every line (header, separator, rows) has the same width
+        assert len({len(line) for line in lines}) == 1
+        # cells are right-justified within their columns
+        assert lines[2].startswith("  1") and lines[3].startswith("333")
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [(1,)], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(0.123456789,)])
+        assert "0.1235" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        out = format_series("s", [1, 2], [10.0, 20.0])
+        assert "series s" in out
+        assert "1  10" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="2 xs vs 1 ys"):
+            format_series("s", [1, 2], [10.0])
+
+    def test_labels_in_header(self):
+        out = format_series("s", [1], [2], x_label="procs", y_label="T")
+        assert "procs -> T" in out

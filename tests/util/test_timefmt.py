@@ -1,0 +1,47 @@
+"""Tests for repro.util.timefmt."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.timefmt import format_hms, parse_hms
+
+
+class TestFormatHms:
+    def test_hours_minutes_seconds(self):
+        assert format_hms(3725) == "1.02.05"
+
+    def test_exact_minute(self):
+        assert format_hms(60) == "0.01.00"
+
+    def test_subminute_keeps_decimals(self):
+        assert format_hms(0.33) == "0.00.00.33"
+
+    def test_zero(self):
+        assert format_hms(0.0) == "0.00.00.00"
+
+    def test_large(self):
+        assert format_hms(10 * 3600 + 59 * 60 + 59) == "10.59.59"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_hms(-1.0)
+
+
+class TestParseHms:
+    def test_roundtrip_minutes(self):
+        assert parse_hms("1.02.05") == 3725
+
+    def test_roundtrip_subminute(self):
+        assert parse_hms("0.00.00.33") == pytest.approx(0.33)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_hms("12:34")
+
+    @given(st.floats(min_value=0, max_value=86_400))
+    def test_roundtrip_property(self, seconds):
+        parsed = parse_hms(format_hms(seconds))
+        # Formatting rounds to whole seconds above one minute.
+        tolerance = 0.01 if seconds < 60 else 0.5
+        assert abs(parsed - seconds) <= tolerance

@@ -1,0 +1,74 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_probability_rows,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1e-9)
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_nonstrict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range("r", 0.0, 0.0, 1.0)
+        check_in_range("r", 1.0, 0.0, 1.0)
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("r", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range_message_has_value(self):
+        with pytest.raises(ValueError, match="2.5"):
+            check_in_range("r", 2.5, 0.0, 1.0)
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        check_shape("a", np.zeros((3, 4)), (3, 4))
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((7, 4)), (None, 4))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_shape("a", np.zeros(3), (3, 1))
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros((3, 5)), (None, 4))
+
+
+class TestCheckProbabilityRows:
+    def test_valid_rows(self):
+        check_probability_rows("w", np.array([[0.3, 0.7], [1.0, 0.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_probability_rows("w", np.array([[1.1, -0.1]]))
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_rows("w", np.array([[0.4, 0.4]]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_probability_rows("w", np.array([0.5, 0.5]))

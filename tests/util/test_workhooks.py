@@ -1,0 +1,51 @@
+"""Tests for repro.util.workhooks."""
+
+import threading
+
+from repro.util import workhooks
+
+
+class TestReport:
+    def test_noop_without_hook(self):
+        workhooks.report("wts", 10, 2, 6)  # must not raise
+
+    def test_hook_receives_units(self):
+        seen = []
+        with workhooks.installed(lambda *a: seen.append(a)):
+            workhooks.report("params", 100, 8, 6)
+        assert seen == [("params", 100, 8, 6)]
+
+    def test_uninstalled_after_context(self):
+        with workhooks.installed(lambda *a: None):
+            pass
+        assert workhooks.current_hook() is None
+
+    def test_nesting_restores_outer(self):
+        outer, inner = [], []
+        with workhooks.installed(lambda *a: outer.append(a)):
+            with workhooks.installed(lambda *a: inner.append(a)):
+                workhooks.report("wts", 1, 1, 1)
+            workhooks.report("wts", 2, 2, 2)
+        assert len(inner) == 1 and len(outer) == 1
+
+    def test_restored_even_on_exception(self):
+        try:
+            with workhooks.installed(lambda *a: None):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert workhooks.current_hook() is None
+
+    def test_thread_local_isolation(self):
+        """A hook installed on one thread must not fire on another."""
+        other_thread_saw = []
+
+        def other():
+            workhooks.report("wts", 5, 5, 5)
+            other_thread_saw.append(workhooks.current_hook())
+
+        with workhooks.installed(lambda *a: other_thread_saw.append("BAD")):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert other_thread_saw == [None]
