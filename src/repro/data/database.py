@@ -45,6 +45,12 @@ class Database:
         Real columns: any float array; NaN marks missing.  Discrete
         columns: integer codes; negative marks missing; codes must be
         below the attribute's arity.
+
+        Every stored column (and its missing mask) is normalized to a
+        1-D **C-contiguous** ``float64`` / ``int64`` / ``bool`` array —
+        the layout the fused kernels (:mod:`repro.kernels`) assume when
+        building design matrices and gather tables, so no kernel ever
+        pays a hidden copy or strided pass.
         """
         if len(columns) != len(schema):
             raise ValueError(
@@ -57,6 +63,10 @@ class Database:
         miss_cols: list[np.ndarray] = []
         for attr, col in zip(schema, columns):
             col = np.asarray(col)
+            if col.ndim != 1:
+                raise ValueError(
+                    f"column {attr.name!r} must be 1-D, got {col.ndim}-D"
+                )
             if isinstance(attr, RealAttribute):
                 col = col.astype(np.float64, copy=True)
                 miss = np.isnan(col)
@@ -85,6 +95,8 @@ class Database:
                         f"discrete column {attr.name!r}: code {present.max()} "
                         f">= arity {attr.arity}"
                     )
+            col = np.ascontiguousarray(col)
+            miss = np.ascontiguousarray(miss)
             col.setflags(write=False)
             miss.setflags(write=False)
             norm_cols.append(col)

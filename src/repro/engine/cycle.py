@@ -41,19 +41,22 @@ class CycleStats:
 
 
 def base_cycle(
-    db: Database, clf: Classification
+    db: Database, clf: Classification, *, kernels: str | None = None
 ) -> tuple[Classification, np.ndarray, CycleStats]:
     """One sequential EM cycle.
 
     Returns ``(new_clf, wts, stats)``: the re-parameterized
     classification (scores evaluate the incoming parameters — see module
     docstring), the membership weights of the E-step, and the phase
-    timings.
+    timings.  ``kernels`` selects the E/M implementation (``None`` →
+    the process default; see :mod:`repro.kernels.config`).
     """
     t0 = time.perf_counter()
-    wts, reduction = update_wts(db, clf)
+    wts, reduction = update_wts(db, clf, kernels=kernels)
     t1 = time.perf_counter()
-    new_clf, global_stats = update_parameters(db, clf, wts, reduction.w_j)
+    new_clf, global_stats = update_parameters(
+        db, clf, wts, reduction.w_j, kernels=kernels
+    )
     t2 = time.perf_counter()
     scores = update_approximations(clf, global_stats, reduction, db.n_items)
     t3 = time.perf_counter()

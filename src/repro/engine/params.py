@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.data.database import Database
 from repro.engine.classification import Classification, class_weight_prior
+from repro.kernels import config as kernel_config
+from repro.kernels.mstep import fused_local_update_parameters
 from repro.models.base import TermParams
 from repro.models.registry import ModelSpec, pack_stats, unpack_stats
 from repro.util import workhooks
@@ -24,13 +26,24 @@ from repro.util.logspace import safe_log
 
 
 def local_update_parameters(
-    db: Database, spec: ModelSpec, wts: np.ndarray
+    db: Database,
+    spec: ModelSpec,
+    wts: np.ndarray,
+    *,
+    kernels: str | None = None,
 ) -> np.ndarray:
     """Local weighted sufficient statistics, packed ``(n_classes, n_stats)``.
 
     Additive over partitions: summing the packed arrays of all ranks
     gives exactly the packed statistics of the full dataset.
+
+    ``kernels`` selects the implementation: ``"fused"`` (the default
+    mode) computes the whole packed array as one GEMM against the cached
+    design matrix (:mod:`repro.kernels.mstep`); ``"reference"`` runs the
+    seed's per-term accumulation.
     """
+    if kernel_config.resolve(kernels) == "fused":
+        return fused_local_update_parameters(db, spec, wts)
     workhooks.report("params", db.n_items, wts.shape[1], spec.n_stats)
     per_term = [term.accumulate_stats(db, wts) for term in spec.terms]
     return pack_stats(spec, per_term)
@@ -67,13 +80,15 @@ def update_parameters(
     clf: Classification,
     wts: np.ndarray,
     w_j: np.ndarray,
+    *,
+    kernels: str | None = None,
 ) -> tuple[Classification, np.ndarray]:
     """Sequential ``update_parameters``: local pass + identity reduction.
 
     Returns the re-parameterized classification and the global packed
     statistics (which ``update_approximations`` consumes).
     """
-    stats = local_update_parameters(db, clf.spec, wts)
+    stats = local_update_parameters(db, clf.spec, wts, kernels=kernels)
     log_pi, term_params = finalize_parameters(clf.spec, stats, w_j, db.n_items)
     new_clf = Classification(
         spec=clf.spec,

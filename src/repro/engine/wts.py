@@ -25,6 +25,8 @@ import numpy as np
 
 from repro.data.database import Database
 from repro.engine.classification import Classification
+from repro.kernels import config as kernel_config
+from repro.kernels.estep import fused_local_update_wts
 from repro.util import workhooks
 from repro.util.logspace import log_normalize_rows
 
@@ -45,16 +47,25 @@ class WtsReduction:
         return float(self.w_j.sum())
 
 
-def compute_log_joint(db: Database, clf: Classification) -> np.ndarray:
-    """``(n_items, n_classes)`` log joint ``log pi_j + log p(x_i | theta_j)``."""
-    out = np.tile(clf.log_pi, (db.n_items, 1))
+def compute_log_joint(
+    db: Database, clf: Classification, out: np.ndarray | None = None
+) -> np.ndarray:
+    """``(n_items, n_classes)`` log joint ``log pi_j + log p(x_i | theta_j)``.
+
+    Reference implementation: per-term ``log_likelihood`` calls summed
+    into ``out`` (a broadcast in-place write of ``log_pi``, not the
+    ``np.tile`` copy the seed used).
+    """
+    if out is None:
+        out = np.empty((db.n_items, clf.n_classes), dtype=np.float64)
+    out[:] = clf.log_pi
     for term, params in zip(clf.spec.terms, clf.term_params):
         out += term.log_likelihood(db, params)
     return out
 
 
 def local_update_wts(
-    db: Database, clf: Classification
+    db: Database, clf: Classification, *, kernels: str | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """E-step over a database block.
 
@@ -62,7 +73,14 @@ def local_update_wts(
     n_classes)`` weight matrix (kept local — never communicated) and
     ``payload`` is the additive reduction vector
     ``[w_j (J), sum_log_z, sum_w_log_w]`` of length ``J + 2``.
+
+    ``kernels`` selects the implementation (``None`` → the process
+    default, normally ``"fused"``).  Under the fused kernels the weight
+    matrix aliases a pooled workspace buffer — see
+    :mod:`repro.kernels.workspace` for the lifetime contract.
     """
+    if kernel_config.resolve(kernels) == "fused":
+        return fused_local_update_wts(db, clf)
     workhooks.report("wts", db.n_items, clf.n_classes, clf.spec.n_stats)
     log_joint = compute_log_joint(db, clf)
     wts, log_z = log_normalize_rows(log_joint)
@@ -91,8 +109,8 @@ def finalize_wts(payload: np.ndarray, n_classes: int) -> WtsReduction:
 
 
 def update_wts(
-    db: Database, clf: Classification
+    db: Database, clf: Classification, *, kernels: str | None = None
 ) -> tuple[np.ndarray, WtsReduction]:
     """Sequential ``update_wts``: local pass + identity reduction."""
-    wts, payload = local_update_wts(db, clf)
+    wts, payload = local_update_wts(db, clf, kernels=kernels)
     return wts, finalize_wts(payload, clf.n_classes)

@@ -159,6 +159,74 @@ class MultiNormalTerm(TermModel):
             out[:, j] = const - 0.5 * params.log_det[j] - 0.5 * maha
         return out
 
+    # -- fused-kernel protocol -------------------------------------------
+
+    def encode(self, db: Database) -> np.ndarray:
+        return np.ascontiguousarray(self._matrix(db))
+
+    def design_columns(self, db: Database) -> np.ndarray:
+        x = self._matrix(db)
+        d = self._d
+        iu = np.triu_indices(d)
+        cols = np.empty((x.shape[0], self.n_stats), dtype=np.float64)
+        cols[:, 0] = 1.0
+        cols[:, 1 : 1 + d] = x
+        np.multiply(x[:, iu[0]], x[:, iu[1]], out=cols[:, 1 + d :])
+        return cols
+
+    def loglik_coefficients(self, params: MultiNormalParams) -> np.ndarray:
+        """Expanded Gaussian quadratic against ``[1, x, triu(x xᵀ)]``.
+
+        ``log N(x) = const + ηᵀx - ½ xᵀP x`` with ``P = Σ⁻¹`` and
+        ``η = P μ``; the pairwise design features carry each off-diagonal
+        product once, so its coefficient is ``-P_kl`` (``-½ P_kk`` on the
+        diagonal).
+        """
+        from scipy.linalg import cho_solve
+
+        d = self._d
+        iu = np.triu_indices(d)
+        diag = iu[0] == iu[1]
+        eye = np.eye(d)
+        coef = np.empty((self.n_stats, params.n_classes), dtype=np.float64)
+        for j in range(params.n_classes):
+            prec = cho_solve((params.chol[j], True), eye)
+            eta = prec @ params.mu[j]
+            coef[0, j] = -0.5 * (
+                d * LOG_2PI + params.log_det[j] + params.mu[j] @ eta
+            )
+            coef[1 : 1 + d, j] = eta
+            coef[1 + d :, j] = np.where(diag, -0.5 * prec[iu], -prec[iu])
+        return coef
+
+    def log_likelihood_into(
+        self,
+        db: Database,
+        params: MultiNormalParams,
+        out: np.ndarray,
+        *,
+        scratch: np.ndarray | None = None,
+        encoding: object | None = None,
+    ) -> np.ndarray:
+        """Per-class Mahalanobis accumulated column-wise into ``out``.
+
+        Uses the cached Cholesky factors (no expanded quadratic); the
+        transient arrays are ``(d, n)``-shaped, never ``(n, J)``.
+        """
+        from scipy.linalg import solve_triangular
+
+        del scratch
+        x = encoding if isinstance(encoding, np.ndarray) else self._matrix(db)
+        const = -0.5 * self._d * LOG_2PI
+        for j in range(params.n_classes):
+            dev = x - params.mu[j]
+            z = solve_triangular(params.chol[j], dev.T, lower=True)
+            maha = np.einsum("dn,dn->n", z, z)
+            maha *= -0.5
+            maha += const - 0.5 * params.log_det[j]
+            out[:, j] += maha
+        return out
+
     def log_prior_density(self, params: MultiNormalParams) -> float:
         """Log NIW density at the MAP (mu, Sigma), summed over classes."""
         from scipy.linalg import cho_solve

@@ -48,6 +48,42 @@ def _gauss_log_pdf(x: np.ndarray, mu: np.ndarray, sigma: np.ndarray) -> np.ndarr
     return -0.5 * (z * z) - np.log(sigma)[None, :] - 0.5 * LOG_2PI
 
 
+def _gauss_log_pdf_into(
+    x: np.ndarray,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    out: np.ndarray,
+    scratch: np.ndarray | None,
+) -> np.ndarray:
+    """``out += gauss_log_pdf`` using only ``scratch`` and J-sized temps."""
+    t = scratch if scratch is not None and scratch.shape == out.shape else (
+        np.empty_like(out)
+    )
+    np.subtract(x[:, None], mu[None, :], out=t)
+    np.divide(t, sigma[None, :], out=t)
+    np.multiply(t, t, out=t)
+    np.multiply(t, -0.5, out=t)
+    np.subtract(t, (np.log(sigma) + 0.5 * LOG_2PI)[None, :], out=t)
+    np.add(out, t, out=out)
+    return out
+
+
+def _gauss_coefficients(mu: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+    """``(3, J)`` coefficients of the expanded Gaussian log density.
+
+    ``log N(x | mu, sigma) = c + b·x + a·x²`` against the design columns
+    ``[1, x, x²]``.
+    """
+    inv_var = 1.0 / np.square(sigma)
+    coef = np.empty((3, mu.shape[0]), dtype=np.float64)
+    coef[0] = (
+        -0.5 * np.square(mu) * inv_var - np.log(sigma) - 0.5 * LOG_2PI
+    )
+    coef[1] = mu * inv_var
+    coef[2] = -0.5 * inv_var
+    return coef
+
+
 class NormalTerm(TermModel):
     """Real attribute with complete data (AutoClass ``single_normal_cn``)."""
 
@@ -102,6 +138,38 @@ class NormalTerm(TermModel):
 
     def log_likelihood(self, db: Database, params: NormalParams) -> np.ndarray:
         return _gauss_log_pdf(db.columns[self._index], params.mu, params.sigma)
+
+    # -- fused-kernel protocol -------------------------------------------
+
+    def encode(self, db: Database) -> np.ndarray:
+        return np.ascontiguousarray(db.columns[self._index], dtype=np.float64)
+
+    def design_columns(self, db: Database) -> np.ndarray:
+        x = db.columns[self._index]
+        cols = np.empty((x.shape[0], self._N_STATS), dtype=np.float64)
+        cols[:, 0] = 1.0
+        cols[:, 1] = x
+        np.multiply(x, x, out=cols[:, 2])
+        return cols
+
+    def loglik_coefficients(self, params: NormalParams) -> np.ndarray:
+        return _gauss_coefficients(params.mu, params.sigma)
+
+    def log_likelihood_into(
+        self,
+        db: Database,
+        params: NormalParams,
+        out: np.ndarray,
+        *,
+        scratch: np.ndarray | None = None,
+        encoding: object | None = None,
+    ) -> np.ndarray:
+        x = (
+            encoding
+            if isinstance(encoding, np.ndarray)
+            else db.columns[self._index]
+        )
+        return _gauss_log_pdf_into(x, params.mu, params.sigma, out, scratch)
 
     def log_prior_density(self, params: NormalParams) -> float:
         return self._prior.log_pdf(params.mu, params.sigma)
@@ -196,9 +264,76 @@ class NormalMissingTerm(TermModel):
         miss = db.missing[self._index]
         xp = np.where(miss, 0.0, x)
         out = _gauss_log_pdf(xp, params.mu, params.sigma)
-        out += np.log(params.p_present)[None, :]
+        # In-place broadcast add / row write (no tiled temporaries).
+        out += np.log(params.p_present)
         if miss.any():
-            out[miss] = np.log1p(-params.p_present)[None, :]
+            out[miss] = np.log1p(-params.p_present)
+        return out
+
+    # -- fused-kernel protocol -------------------------------------------
+
+    def encode(self, db: Database) -> dict:
+        x = db.columns[self._index]
+        miss = db.missing[self._index]
+        xp = np.where(miss, 0.0, x)
+        return {
+            "xp": np.ascontiguousarray(xp, dtype=np.float64),
+            "miss": miss,
+            "any_missing": bool(miss.any()),
+        }
+
+    def design_columns(self, db: Database) -> np.ndarray:
+        enc = self.encode(db)
+        miss = enc["miss"]
+        xp = enc["xp"]
+        cols = np.empty((xp.shape[0], self._N_STATS), dtype=np.float64)
+        np.subtract(1.0, miss, out=cols[:, 0])  # present indicator
+        cols[:, 1] = xp
+        np.multiply(xp, xp, out=cols[:, 2])
+        cols[:, 3] = miss  # missing indicator
+        return cols
+
+    def loglik_coefficients(self, params: NormalMissingParams) -> np.ndarray:
+        # Design columns: [present, x·present, x²·present, missing].
+        # Present cells contribute log p_present + the expanded Gaussian;
+        # absent cells contribute log (1 - p_present) only.
+        coef = np.empty((self._N_STATS, params.mu.shape[0]), dtype=np.float64)
+        gauss = _gauss_coefficients(params.mu, params.sigma)
+        coef[0] = gauss[0] + np.log(params.p_present)
+        coef[1] = gauss[1]
+        coef[2] = gauss[2]
+        coef[3] = np.log1p(-params.p_present)
+        return coef
+
+    def log_likelihood_into(
+        self,
+        db: Database,
+        params: NormalMissingParams,
+        out: np.ndarray,
+        *,
+        scratch: np.ndarray | None = None,
+        encoding: object | None = None,
+    ) -> np.ndarray:
+        enc = encoding if isinstance(encoding, dict) else self.encode(db)
+        t = scratch if (
+            scratch is not None and scratch.shape == out.shape
+        ) else np.empty_like(out)
+        np.subtract(enc["xp"][:, None], params.mu[None, :], out=t)
+        np.divide(t, params.sigma[None, :], out=t)
+        np.multiply(t, t, out=t)
+        np.multiply(t, -0.5, out=t)
+        np.subtract(
+            t,
+            (
+                np.log(params.sigma)
+                + 0.5 * LOG_2PI
+                - np.log(params.p_present)
+            )[None, :],
+            out=t,
+        )
+        if enc["any_missing"]:
+            t[enc["miss"]] = np.log1p(-params.p_present)
+        np.add(out, t, out=out)
         return out
 
     def log_prior_density(self, params: NormalMissingParams) -> float:

@@ -34,8 +34,13 @@ def run_pautoclass(
     db: Database,
     config: SearchConfig | None = None,
     spec: ModelSpec | None = None,
+    kernels: str | None = None,
 ) -> SearchResult:
-    """P-AutoClass over a database replicated on every rank."""
+    """P-AutoClass over a database replicated on every rank.
+
+    ``kernels`` selects the local E/M implementation on every rank
+    (``None`` → the process default, normally the fused kernels).
+    """
     if spec is None:
         spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
     local_db = block_partition(db, comm.size, comm.rank)
@@ -46,6 +51,7 @@ def run_pautoclass(
         n_total_items=db.n_items,
         config=config,
         full_db=db,
+        kernels=kernels,
     )
 
 
@@ -54,6 +60,7 @@ def run_pautoclass_partitioned(
     local_db: Database,
     config: SearchConfig | None = None,
     spec: ModelSpec | None = None,
+    kernels: str | None = None,
 ) -> SearchResult:
     """P-AutoClass where each rank holds only its own block.
 
@@ -77,4 +84,5 @@ def run_pautoclass_partitioned(
         n_total_items=summary.n_items,
         config=config,
         full_db=None,
+        kernels=kernels,
     )

@@ -44,19 +44,24 @@ def parallel_base_cycle(
     clf: Classification,
     n_total_items: int,
     comm: Communicator,
+    *,
+    kernels: str | None = None,
 ) -> tuple[Classification, np.ndarray, ParallelCycleStats]:
     """One P-AutoClass EM cycle over this rank's block.
 
     Returns ``(new_clf, local_wts, stats)``.  The returned
     classification — parameters *and* scores — is identical on every
-    rank (same reduced inputs, same pure finalization).
+    rank (same reduced inputs, same pure finalization).  ``kernels``
+    selects the local E/M implementation; the two Allreduce cut points
+    are unaffected.
     """
     bytes0 = comm.stats.bytes_sent
     t0 = comm.wtime()
-    wts, reduction = parallel_update_wts(local_db, clf, comm)
+    wts, reduction = parallel_update_wts(local_db, clf, comm, kernels=kernels)
     t1 = comm.wtime()
     new_clf, global_stats = parallel_update_parameters(
-        local_db, clf, wts, reduction.w_j, n_total_items, comm
+        local_db, clf, wts, reduction.w_j, n_total_items, comm,
+        kernels=kernels,
     )
     t2 = comm.wtime()
     scores = update_approximations(clf, global_stats, reduction, n_total_items)

@@ -64,14 +64,20 @@ def parallel_update_parameters(
     n_total_items: int,
     comm: Communicator,
     granularity: str = "packed",
+    *,
+    kernels: str | None = None,
 ) -> tuple[Classification, np.ndarray]:
     """M-step: local statistics + Allreduce + replicated finalize.
 
     ``w_j`` must be the *global* class totals from
     :func:`repro.parallel.pwts.parallel_update_wts`.  Returns the
     re-parameterized classification and the global packed statistics.
+    ``kernels`` selects the local implementation; the reduction payload
+    layout (and so both granularities) is identical either way.
     """
-    local_stats = local_update_parameters(local_db, clf.spec, wts)
+    local_stats = local_update_parameters(
+        local_db, clf.spec, wts, kernels=kernels
+    )
     global_stats = reduce_stats(comm, clf.spec, local_stats, granularity)
     log_pi, term_params = finalize_parameters(
         clf.spec, global_stats, w_j, n_total_items

@@ -52,6 +52,7 @@ def parallel_initial_classification(
     comm: Communicator,
     method: str = "dirichlet",
     full_db: Database | None = None,
+    kernels: str | None = None,
 ) -> Classification:
     """Random init replicating the sequential starting state.
 
@@ -72,7 +73,7 @@ def parallel_initial_classification(
         )
     wts = block_partition_array(wts_full, comm.size, comm.rank).copy()
     del wts_full
-    local_stats = local_update_parameters(local_db, spec, wts)
+    local_stats = local_update_parameters(local_db, spec, wts, kernels=kernels)
     payload = np.concatenate([wts.sum(axis=0), local_stats.reshape(-1)])
     payload = np.asarray(comm.allreduce(payload, ReduceOp.SUM))
     w_j = payload[:n_classes]
@@ -94,6 +95,8 @@ def parallel_converge_try(
     n_total_items: int,
     comm: Communicator,
     checker: ConvergenceChecker,
+    *,
+    kernels: str | None = None,
 ) -> tuple[Classification, bool]:
     """Run parallel ``base_cycle`` until the (replicated) checker stops.
 
@@ -105,7 +108,7 @@ def parallel_converge_try(
     stopped = False
     while not stopped:
         clf, _wts, _stats = parallel_base_cycle(
-            local_db, clf, n_total_items, comm
+            local_db, clf, n_total_items, comm, kernels=kernels
         )
         assert clf.scores is not None
         stopped = checker.update(clf.scores.log_marginal_cs)
@@ -119,6 +122,7 @@ def run_parallel_search(
     n_total_items: int,
     config: SearchConfig | None = None,
     full_db: Database | None = None,
+    kernels: str | None = None,
 ) -> SearchResult:
     """P-AutoClass's BIG_LOOP: replicated control, partitioned data.
 
@@ -151,9 +155,11 @@ def run_parallel_search(
             comm,
             method=config.init_method,
             full_db=full_db,
+            kernels=kernels,
         )
         clf, converged = parallel_converge_try(
-            local_db, clf0, n_total_items, comm, config.checker()
+            local_db, clf0, n_total_items, comm, config.checker(),
+            kernels=kernels,
         )
         duplicate_of = next(
             (

@@ -23,12 +23,17 @@ def parallel_update_wts(
     local_db: Database,
     clf: Classification,
     comm: Communicator,
+    *,
+    kernels: str | None = None,
 ) -> tuple[np.ndarray, WtsReduction]:
     """E-step over this rank's block + one global Allreduce.
 
     Returns ``(local_wts, reduction)`` where ``reduction`` holds the
     *global* class totals and scoring scalars — identical on every rank.
+    ``kernels`` selects the local implementation (fused kernels give
+    every rank's local half the same speedup without touching this
+    function's Allreduce cut point).
     """
-    wts, payload = local_update_wts(local_db, clf)
+    wts, payload = local_update_wts(local_db, clf, kernels=kernels)
     payload = comm.allreduce(payload, ReduceOp.SUM)
     return wts, finalize_wts(payload, clf.n_classes)

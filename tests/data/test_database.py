@@ -73,6 +73,41 @@ class TestFromColumns:
             db.column("x")[0] = 5.0
 
 
+class TestNormalization:
+    """from_columns must hand kernels C-contiguous float64/int64/bool."""
+
+    def test_dtypes_and_contiguity(self):
+        db = Database.from_columns(
+            make_schema(),
+            [np.array([1.0, 2.0], dtype=np.float32), np.array([0, 2], np.int8)],
+        )
+        x, c = db.column("x"), db.column("c")
+        assert x.dtype == np.float64 and x.flags.c_contiguous
+        assert c.dtype == np.int64 and c.flags.c_contiguous
+        for m in db.missing:
+            assert m.dtype == np.bool_ and m.flags.c_contiguous
+
+    def test_strided_input_is_compacted(self):
+        raw = np.arange(20.0)[::2]  # non-contiguous float view
+        codes = np.arange(30)[::3] % 3  # non-contiguous int view
+        db = Database.from_columns(make_schema(), [raw, codes])
+        assert db.column("x").flags.c_contiguous
+        assert db.column("c").flags.c_contiguous
+        np.testing.assert_array_equal(db.column("x"), raw)
+
+    def test_input_not_aliased(self):
+        src = np.array([1.0, 2.0])
+        db = Database.from_columns(make_schema(), [src, np.array([0, 1])])
+        src[0] = 99.0
+        assert db.column("x")[0] == 1.0
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Database.from_columns(
+                make_schema(), [np.ones((2, 1)), np.zeros((2, 1), np.int64)]
+            )
+
+
 class TestTake:
     def make_db(self):
         return Database.from_columns(
