@@ -93,8 +93,8 @@ def main() -> None:
     print(spec.describe(), end="\n\n")
 
     ac = AutoClass(spec=spec, start_j_list=(2, 3, 5), max_n_tries=3, seed=9)
-    result = ac.fit(db)
-    print(result.summary(), end="\n\n")
+    run = ac.fit(db)
+    print(run.summary(), end="\n\n")
     print(ac.report(), end="\n\n")
 
     # How well do the discovered classes align with the hidden families?

@@ -21,9 +21,11 @@ def main() -> None:
     print(db.describe(), end="\n\n")
 
     # --- sequential AutoClass -------------------------------------------
+    # fit() returns a Run: the search result plus (when instrumented)
+    # the per-rank phase record rendered by run.report().
     ac = AutoClass(start_j_list=(2, 4, 6, 8), max_n_tries=4, seed=7)
-    result = ac.fit(db)
-    print(result.summary(), end="\n\n")
+    run_seq = ac.fit(db)
+    print(run_seq.summary(), end="\n\n")
     print(ac.report(), end="\n\n")
 
     labels = ac.predict(db)
@@ -33,17 +35,22 @@ def main() -> None:
           f"{proba.sum(axis=1).round(6).max()}", end="\n\n")
 
     # --- the same search, SPMD on the simulated CS-2 ---------------------
+    # instrument="phases" collects the per-rank wts/params/Allreduce
+    # split (virtual seconds on the sim backend, wall seconds on
+    # threads/processes — same record schema either way).
     pac = PAutoClass(
-        n_processors=8, backend="sim",
+        n_processors=8, backend="sim", instrument="phases",
         start_j_list=(2, 4, 6, 8), max_n_tries=4, seed=7,
     )
     run = pac.fit(db)
-    best_seq = result.best
+    best_seq = run_seq.best
     best_par = run.result.best
     print("parallel == sequential:",
           best_par.n_classes_requested == best_seq.n_classes_requested
           and abs(best_par.score - best_seq.score) < 1e-6 * abs(best_seq.score))
-    print(f"simulated elapsed on 8-processor CS-2: {run.sim_elapsed:.2f} s")
+    print(f"simulated elapsed on 8-processor CS-2: {run.sim_elapsed:.2f} s",
+          end="\n\n")
+    print(run.report())
 
 
 if __name__ == "__main__":

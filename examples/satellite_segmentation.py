@@ -73,11 +73,11 @@ def main() -> None:
     print(f"hidden land-cover classes: {names}", end="\n\n")
 
     ac = AutoClass(start_j_list=(3, 5, 8), max_n_tries=3, seed=4)
-    result = ac.fit(db)
-    print(result.summary(), end="\n\n")
+    run_seq = ac.fit(db)
+    print(run_seq.summary(), end="\n\n")
 
     hard = ac.predict(db)
-    print(f"recovered {result.best.classification.scores.n_populated} "
+    print(f"recovered {run_seq.best.classification.scores.n_populated} "
           f"populated classes; segmentation purity vs hidden truth: "
           f"{purity(hard, truth):.3f}", end="\n\n")
 

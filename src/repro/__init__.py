@@ -17,9 +17,11 @@ Quick start::
     print(ac.report())
 
     pac = PAutoClass(n_processors=8, backend="sim",
-                     start_j_list=(2, 4, 8), max_n_tries=3, seed=7)
+                     start_j_list=(2, 4, 8), max_n_tries=3, seed=7,
+                     instrument="phases")
     run = pac.fit(db)          # identical classification...
     print(run.sim_elapsed)     # ...plus its time on the simulated CS-2
+    print(run.report())        # per-rank phase/Allreduce breakdown
 
 Package map (details in DESIGN.md):
 
@@ -30,11 +32,20 @@ Package map (details in DESIGN.md):
 ``repro.mpc``             message-passing library (MPI-shaped)
 ``repro.simnet``          virtual-time multicomputer (Meiko CS-2 model)
 ``repro.parallel``        P-AutoClass — the paper's contribution
+``repro.obs``             run observability (phase timers, records, report)
 ``repro.harness``         experiment runners for every figure/claim
 ========================  ==================================================
 """
 
-from repro.api import AutoClass, PAutoClass, PAutoClassRun
+from repro.api import (
+    BACKENDS,
+    AutoClass,
+    NotFittedError,
+    PAutoClass,
+    PAutoClassRun,
+    Run,
+    register_backend,
+)
 from repro.data import (
     AttributeSet,
     Database,
@@ -53,12 +64,15 @@ __version__ = "1.0.0"
 __all__ = [
     "AttributeSet",
     "AutoClass",
+    "BACKENDS",
     "Database",
     "DiscreteAttribute",
     "ModelSpec",
+    "NotFittedError",
     "PAutoClass",
     "PAutoClassRun",
     "RealAttribute",
+    "Run",
     "SearchConfig",
     "SearchResult",
     "__version__",
@@ -69,4 +83,5 @@ __all__ = [
     "make_separable_blobs",
     "parse_model_spec",
     "purity",
+    "register_backend",
 ]

@@ -4,16 +4,28 @@ Wraps the engine and the parallel driver behind two small classes:
 
 * :class:`AutoClass` — sequential Bayesian classification of a
   :class:`~repro.data.Database` (fit / predict / report);
-* :class:`PAutoClass` — the same interface, executed SPMD on a chosen
-  backend: ``"serial"``, ``"threads"``, ``"processes"``, or ``"sim"``
-  (the virtual-time CS-2 — also returns the simulated timing).
+* :class:`PAutoClass` — the same interface, executed SPMD on a
+  registered backend: ``"serial"``, ``"threads"``, ``"processes"``, or
+  ``"sim"`` (the virtual-time CS-2 — also returns the simulated
+  timing).  Backends live in the :data:`BACKENDS` registry and new ones
+  can be added with :func:`register_backend`.
 
 Both produce identical classifications (a tested invariant); the choice
 is about *how* the work runs, which is the paper's whole point.
+
+``fit`` on either class returns a unified :class:`Run` carrying the
+search ``result``, the observability ``record`` (when fitted with
+``instrument="phases"`` or ``"full"``; see :mod:`repro.obs`), and a
+paper-style ``report()`` of per-rank phase timings.  The ``"sim"``
+backend additionally reports the virtual elapsed seconds and — at
+``instrument="full"`` — the rendered timeline that ``trace=True`` used
+to produce (``trace`` is deprecated and maps to ``instrument="full"``).
 """
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,9 +40,191 @@ from repro.mpc.api import CollectiveConfig
 from repro.mpc.procworld import run_spmd_processes
 from repro.mpc.serial import SerialComm
 from repro.mpc.threadworld import run_spmd_threads
-from repro.parallel.driver import run_pautoclass
+from repro.obs.record import RunRecord
+from repro.obs.recorder import Recorder, check_instrument, recording
+from repro.obs.runtime import build_run_record, recorded_pautoclass
 
-BACKENDS = ("serial", "threads", "processes", "sim")
+
+class NotFittedError(RuntimeError):
+    """Results were requested from a model whose ``fit`` has not run.
+
+    Subclasses :class:`RuntimeError` so pre-existing ``except
+    RuntimeError`` handlers keep working.
+    """
+
+
+@dataclass(frozen=True)
+class Run:
+    """Outcome of one ``fit`` on any backend (including sequential).
+
+    Carries the classification search :attr:`result`, the run's
+    observability :attr:`record` (``None`` unless fitted with
+    ``instrument="phases"`` or ``"full"``), and backend metadata.  The
+    same object shape is returned by every backend — wall-clocked real
+    worlds and the virtual-time simulator differ only in the record's
+    ``clock`` field.
+    """
+
+    result: SearchResult
+    backend: str
+    n_processors: int
+    instrument: str = "off"
+    #: Merged per-rank observability record (see :mod:`repro.obs`).
+    record: RunRecord | None = None
+    #: Simulated elapsed seconds (``"sim"`` backend only, else None).
+    sim_elapsed: float | None = None
+    #: Rendered virtual-time schedule (``"sim"`` backend with
+    #: ``instrument="full"`` only).
+    timeline: str | None = None
+
+    @property
+    def best(self):
+        """The best try of the search (delegates to ``result.best``)."""
+        return self.result.best
+
+    def summary(self) -> str:
+        """One-line-per-try search summary (delegates to the result)."""
+        return self.result.summary()
+
+    def report(self) -> str:
+        """Paper-style per-rank phase/communication breakdown.
+
+        Requires the run to have been instrumented.
+        """
+        if self.record is None:
+            raise ValueError(
+                "run was not instrumented; fit with instrument='phases' "
+                "or instrument='full' to collect a record"
+            )
+        from repro.obs.report import render_run
+
+        return render_run(self.record)
+
+
+#: Backwards-compatible alias — PR 1's parallel-fit result type is now
+#: the unified :class:`Run`.
+PAutoClassRun = Run
+
+#: A backend runner executes one fit:
+#: ``runner(model: PAutoClass, db: Database, spec: ModelSpec) -> Run``.
+BackendRunner = Callable[["PAutoClass", Database, ModelSpec], Run]
+
+#: Registry of SPMD backends, name -> runner.  Iteration order is
+#: registration order; membership (``name in BACKENDS``) checks names.
+BACKENDS: dict[str, BackendRunner] = {}
+
+
+def register_backend(name: str) -> Callable[[BackendRunner], BackendRunner]:
+    """Register a :class:`PAutoClass` backend runner under ``name``.
+
+    Used as a decorator::
+
+        @register_backend("mpi")
+        def _mpi_backend(model, db, spec) -> Run: ...
+
+    Registering an existing name replaces it (lets tests substitute
+    instrumented doubles).
+    """
+
+    def decorate(fn: BackendRunner) -> BackendRunner:
+        BACKENDS[name] = fn
+        return fn
+
+    return decorate
+
+
+def _assemble_run(
+    model: PAutoClass,
+    backend: str,
+    pairs: list,
+    *,
+    sim_elapsed: float | None = None,
+    timeline: str | None = None,
+) -> Run:
+    """Merge per-rank ``(result, rank_record)`` pairs into one Run."""
+    records = [rec for _result, rec in pairs]
+    return Run(
+        result=pairs[0][0],
+        backend=backend,
+        n_processors=model.n_processors,
+        instrument=model.instrument,
+        record=build_run_record(
+            backend, model.n_processors, model.instrument, records
+        ),
+        sim_elapsed=sim_elapsed,
+        timeline=timeline,
+    )
+
+
+@register_backend("serial")
+def _serial_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
+    if model.n_processors != 1:
+        raise ValueError("serial backend supports exactly 1 processor")
+    comm = SerialComm(model.collectives)
+    pair = recorded_pautoclass(
+        comm, db, model.config, spec, instrument=model.instrument
+    )
+    return _assemble_run(model, "serial", [pair])
+
+
+@register_backend("threads")
+def _threads_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
+    pairs = run_spmd_threads(
+        recorded_pautoclass,
+        model.n_processors,
+        db,
+        model.config,
+        spec,
+        collectives=model.collectives,
+        instrument=model.instrument,
+    )
+    return _assemble_run(model, "threads", pairs)
+
+
+@register_backend("processes")
+def _processes_backend(
+    model: PAutoClass, db: Database, spec: ModelSpec
+) -> Run:
+    # Each forked rank sends its (result, RankRecord) pair back over its
+    # result pipe; the parent merges the records — cross-process record
+    # collection with no shared memory.
+    pairs = run_spmd_processes(
+        recorded_pautoclass,
+        model.n_processors,
+        db,
+        model.config,
+        spec,
+        collectives=model.collectives,
+        instrument=model.instrument,
+    )
+    return _assemble_run(model, "processes", pairs)
+
+
+@register_backend("sim")
+def _sim_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
+    from repro.harness.runner import calibrated_machine
+    from repro.simnet.simworld import run_spmd_sim
+    from repro.simnet.trace import Tracer, render_timeline
+
+    tracer = Tracer() if model.instrument == "full" else None
+    sim = run_spmd_sim(
+        recorded_pautoclass,
+        model.n_processors,
+        calibrated_machine(model.n_processors),
+        db,
+        model.config,
+        spec,
+        collectives=model.collectives,
+        compute_mode="counted",
+        tracer=tracer,
+        instrument=model.instrument,
+    )
+    timeline = None
+    if tracer is not None:
+        timeline = tracer.summary() + "\n" + render_timeline(tracer)
+    return _assemble_run(
+        model, "sim", sim.results, sim_elapsed=sim.elapsed, timeline=timeline
+    )
 
 
 class AutoClass:
@@ -41,30 +235,61 @@ class AutoClass:
         from repro import AutoClass, make_paper_database
         db = make_paper_database(5000, seed=0)
         ac = AutoClass(start_j_list=(2, 4, 8), max_n_tries=3, seed=7)
-        result = ac.fit(db)
+        run = ac.fit(db)
+        print(run.summary())
         print(ac.report())
         labels = ac.predict(db)
+
+    Pass ``instrument="phases"`` (timers only) or ``"full"`` (timers +
+    per-cycle telemetry) to collect an observability record; it is
+    available as ``run.record`` and rendered by ``run.report()``.
     """
 
-    def __init__(self, spec: ModelSpec | None = None, **config) -> None:
+    def __init__(
+        self,
+        spec: ModelSpec | None = None,
+        *,
+        instrument: str = "off",
+        **config,
+    ) -> None:
+        check_instrument(instrument)
         self.spec = spec
+        self.instrument = instrument
         self.config = SearchConfig(**config)
         self.result_: SearchResult | None = None
+        self.run_: Run | None = None
         self._db: Database | None = None
 
     # -- fitting ---------------------------------------------------------
 
-    def fit(self, db: Database) -> SearchResult:
-        """Run the BIG_LOOP search; returns (and stores) the result."""
-        self.result_ = run_search(db, self.config, self.spec)
+    def fit(self, db: Database) -> Run:
+        """Run the BIG_LOOP search; returns (and stores) the :class:`Run`."""
+        record = None
+        if self.instrument == "off":
+            result = run_search(db, self.config, self.spec)
+        else:
+            rec = Recorder(level=self.instrument)
+            with recording(rec):
+                result = run_search(db, self.config, self.spec)
+            record = build_run_record(
+                "sequential", 1, self.instrument, [rec.to_rank_record()]
+            )
+        self.result_ = result
+        self.run_ = Run(
+            result=result,
+            backend="sequential",
+            n_processors=1,
+            instrument=self.instrument,
+            record=record,
+        )
         self._db = db
-        return self.result_
+        return self.run_
 
     @property
     def best_(self) -> Classification:
         """The best classification found by :meth:`fit`."""
         if self.result_ is None:
-            raise RuntimeError("call fit() first")
+            raise NotFittedError("call fit() first")
         return self.result_.best.classification
 
     # -- inference --------------------------------------------------------
@@ -82,22 +307,8 @@ class AutoClass:
     def report(self) -> str:
         """AutoClass-style report of the best classification."""
         if self._db is None:
-            raise RuntimeError("call fit() first")
+            raise NotFittedError("call fit() first")
         return classification_report(self._db, self.best_)
-
-
-@dataclass(frozen=True)
-class PAutoClassRun:
-    """Result of a parallel fit: the search result plus run metadata."""
-
-    result: SearchResult
-    backend: str
-    n_processors: int
-    #: Simulated elapsed seconds (``"sim"`` backend only, else None).
-    sim_elapsed: float | None = None
-    #: Rendered virtual-time schedule (``"sim"`` backend with
-    #: ``trace=True`` only).
-    timeline: str | None = None
 
 
 class PAutoClass:
@@ -108,9 +319,11 @@ class PAutoClass:
         from repro import PAutoClass, make_paper_database
         db = make_paper_database(5000, seed=0)
         pac = PAutoClass(n_processors=8, backend="sim",
-                         start_j_list=(2, 4, 8), max_n_tries=3, seed=7)
+                         start_j_list=(2, 4, 8), max_n_tries=3, seed=7,
+                         instrument="phases")
         run = pac.fit(db)
         print(run.sim_elapsed, "simulated seconds on", run.n_processors, "procs")
+        print(run.report())   # per-rank wts/params/Allreduce breakdown
     """
 
     def __init__(
@@ -119,92 +332,50 @@ class PAutoClass:
         backend: str = "threads",
         spec: ModelSpec | None = None,
         collectives: CollectiveConfig | None = None,
+        instrument: str = "off",
         trace: bool = False,
         **config,
     ) -> None:
         if backend not in BACKENDS:
-            raise ValueError(f"backend {backend!r} not in {BACKENDS}")
+            raise ValueError(
+                f"backend {backend!r} not in {tuple(BACKENDS)}"
+            )
         if n_processors < 1:
             raise ValueError(f"n_processors must be >= 1, got {n_processors}")
-        if trace and backend != "sim":
-            raise ValueError("trace=True needs the 'sim' backend")
+        if trace:
+            if backend != "sim":
+                raise ValueError("trace=True needs the 'sim' backend")
+            warnings.warn(
+                "PAutoClass(trace=True) is deprecated; use "
+                "instrument='full' (works on every backend and also "
+                "produces the sim timeline)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            instrument = "full"
+        check_instrument(instrument)
         self.n_processors = n_processors
         self.backend = backend
         self.spec = spec
         self.collectives = collectives
-        self.trace = trace
+        self.instrument = instrument
         self.config = SearchConfig(**config)
-        self.run_: PAutoClassRun | None = None
+        self.run_: Run | None = None
         self._db: Database | None = None
 
-    def fit(self, db: Database) -> PAutoClassRun:
+    def fit(self, db: Database) -> Run:
         """Run the SPMD search on the configured backend."""
         spec = self.spec or ModelSpec.default_for(
             db.schema, DataSummary.from_database(db)
         )
-        sim_elapsed: float | None = None
-        timeline: str | None = None
-        if self.backend == "serial":
-            if self.n_processors != 1:
-                raise ValueError("serial backend supports exactly 1 processor")
-            result = run_pautoclass(
-                SerialComm(self.collectives), db, self.config, spec
-            )
-        elif self.backend == "threads":
-            results = run_spmd_threads(
-                run_pautoclass,
-                self.n_processors,
-                db,
-                self.config,
-                spec,
-                collectives=self.collectives,
-            )
-            result = results[0]
-        elif self.backend == "processes":
-            results = run_spmd_processes(
-                run_pautoclass,
-                self.n_processors,
-                db,
-                self.config,
-                spec,
-                collectives=self.collectives,
-            )
-            result = results[0]
-        else:  # sim
-            from repro.harness.runner import calibrated_machine
-            from repro.simnet.simworld import run_spmd_sim
-            from repro.simnet.trace import Tracer, render_timeline
-
-            tracer = Tracer() if self.trace else None
-            sim = run_spmd_sim(
-                run_pautoclass,
-                self.n_processors,
-                calibrated_machine(self.n_processors),
-                db,
-                self.config,
-                spec,
-                collectives=self.collectives,
-                compute_mode="counted",
-                tracer=tracer,
-            )
-            result = sim.results[0]
-            sim_elapsed = sim.elapsed
-            if tracer is not None:
-                timeline = tracer.summary() + "\n" + render_timeline(tracer)
-        self.run_ = PAutoClassRun(
-            result=result,
-            backend=self.backend,
-            n_processors=self.n_processors,
-            sim_elapsed=sim_elapsed,
-            timeline=timeline,
-        )
+        self.run_ = BACKENDS[self.backend](self, db, spec)
         self._db = db
         return self.run_
 
     @property
     def best_(self) -> Classification:
         if self.run_ is None:
-            raise RuntimeError("call fit() first")
+            raise NotFittedError("call fit() first")
         return self.run_.result.best.classification
 
     def predict_proba(self, db: Database) -> np.ndarray:
@@ -217,5 +388,5 @@ class PAutoClass:
 
     def report(self) -> str:
         if self._db is None:
-            raise RuntimeError("call fit() first")
+            raise NotFittedError("call fit() first")
         return classification_report(self._db, self.best_)

@@ -23,6 +23,7 @@ import argparse
 import sys
 
 from repro.api import BACKENDS, AutoClass, PAutoClass
+from repro.obs.recorder import INSTRUMENT_LEVELS
 from repro.data.io import load_database, save_database
 from repro.data.synth import make_paper_database
 
@@ -60,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--max-cycles", type=int, default=200)
     p_run.add_argument(
-        "--backend", choices=("sequential",) + BACKENDS, default="sequential"
+        "--backend", choices=("sequential", *BACKENDS), default="sequential"
     )
     p_run.add_argument("--procs", type=int, default=4,
                        help="processors for parallel backends (default 4)")
@@ -75,7 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--trace", action="store_true",
-        help="print the virtual-time schedule (sim backend only)",
+        help="print the virtual-time schedule (sim backend only; "
+             "deprecated alias for --instrument full)",
+    )
+    p_run.add_argument(
+        "--instrument", choices=INSTRUMENT_LEVELS, default="off",
+        help="collect per-rank phase timings ('phases') or full "
+             "per-cycle telemetry ('full') and print the breakdown",
+    )
+    p_run.add_argument(
+        "--obs-out", metavar="PATH",
+        help="write the observability record as JSONL "
+             "(requires --instrument phases|full)",
     )
     p_run.add_argument(
         "--report-out", metavar="PATH",
@@ -87,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--which",
         choices=(
             "fig6", "fig7", "fig8", "t1", "t2",
-            "a1", "a2", "a3", "a4", "a5", "b1", "all",
+            "a1", "a2", "a3", "a4", "a5", "b1", "obs", "all",
         ),
         default="all",
     )
@@ -128,6 +140,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_cycles=args.max_cycles,
     )
+    instrument = args.instrument
+    if args.trace:
+        if args.backend != "sim":
+            raise SystemExit("--trace needs --backend sim")
+        instrument = "full"
+    if args.obs_out and instrument == "off":
+        raise SystemExit("--obs-out requires --instrument phases|full")
     if args.backend == "sequential":
         if args.model_search:
             from repro.engine.modelsearch import run_model_search
@@ -141,23 +160,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.save_results:
                 _save(result, db, args.save_results)
             return 0
-        ac = AutoClass(**config)
-        result = ac.fit(db)
-        print(result.summary())
+        ac = AutoClass(instrument=instrument, **config)
+        run = ac.fit(db)
+        print(run.summary())
         print()
         print(ac.report())
+        _emit_obs(run, args.obs_out)
         if args.report_out:
-            _write_rlog(db, result, args.report_out)
+            _write_rlog(db, run.result, args.report_out)
         if args.save_results:
-            _save(result, db, args.save_results)
+            _save(run.result, db, args.save_results)
     else:
         procs = 1 if args.backend == "serial" else args.procs
         pac = PAutoClass(
-            n_processors=procs, backend=args.backend, trace=args.trace,
+            n_processors=procs, backend=args.backend, instrument=instrument,
             **config,
         )
         run = pac.fit(db)
-        print(run.result.summary())
+        print(run.summary())
         print()
         print(pac.report())
         if run.sim_elapsed is not None:
@@ -168,11 +188,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if run.timeline is not None:
             print()
             print(run.timeline)
+        _emit_obs(run, args.obs_out)
         if args.report_out:
             _write_rlog(db, run.result, args.report_out)
         if args.save_results:
             _save(run.result, db, args.save_results)
     return 0
+
+
+def _emit_obs(run, obs_out: str | None) -> None:
+    """Print the instrumented breakdown and optionally write JSONL."""
+    if run.record is None:
+        return
+    print()
+    print(run.report())
+    if obs_out:
+        from repro.obs.record import write_jsonl
+
+        write_jsonl(run.record, obs_out)
+        print(f"\nobservability record written to {obs_out}")
 
 
 def _write_rlog(db, result, path: str) -> None:
@@ -202,6 +236,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         fig6_elapsed,
         fig7_speedup,
         fig8_scaleup,
+        obs_phase_breakdown,
         t1_profile,
         t2_linear_sequential,
     )
@@ -235,6 +270,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(ablation_topology().render(), end="\n\n")
     if which in ("b1", "all"):
         print(baseline_kmeans_comparison().render(), end="\n\n")
+    if which in ("obs", "all"):
+        print(obs_phase_breakdown(scale).render(), end="\n\n")
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.engine.approx import update_approximations
 from repro.engine.classification import Classification
 from repro.engine.params import update_parameters
 from repro.engine.wts import update_wts
+from repro.obs import recorder as obs
 
 
 @dataclass(frozen=True)
@@ -51,15 +52,24 @@ def base_cycle(
     timings.  ``kernels`` selects the E/M implementation (``None`` →
     the process default; see :mod:`repro.kernels.config`).
     """
+    rec = obs.current()
     t0 = time.perf_counter()
-    wts, reduction = update_wts(db, clf, kernels=kernels)
+    with rec.phase("wts"):
+        wts, reduction = update_wts(db, clf, kernels=kernels)
     t1 = time.perf_counter()
-    new_clf, global_stats = update_parameters(
-        db, clf, wts, reduction.w_j, kernels=kernels
-    )
+    with rec.phase("params"):
+        new_clf, global_stats = update_parameters(
+            db, clf, wts, reduction.w_j, kernels=kernels
+        )
     t2 = time.perf_counter()
-    scores = update_approximations(clf, global_stats, reduction, db.n_items)
+    with rec.phase("approx"):
+        scores = update_approximations(clf, global_stats, reduction, db.n_items)
     t3 = time.perf_counter()
+    rec.cycle(
+        n_classes=clf.n_classes,
+        log_marginal=scores.log_marginal_cs,
+        w_j=reduction.w_j,
+    )
     new_clf = new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
     return new_clf, wts, CycleStats(
         seconds_wts=t1 - t0,

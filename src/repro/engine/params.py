@@ -21,6 +21,7 @@ from repro.kernels import config as kernel_config
 from repro.kernels.mstep import fused_local_update_parameters
 from repro.models.base import TermParams
 from repro.models.registry import ModelSpec, pack_stats, unpack_stats
+from repro.obs import recorder as obs
 from repro.util import workhooks
 from repro.util.logspace import safe_log
 
@@ -45,6 +46,7 @@ def local_update_parameters(
     if kernel_config.resolve(kernels) == "fused":
         return fused_local_update_parameters(db, spec, wts)
     workhooks.report("params", db.n_items, wts.shape[1], spec.n_stats)
+    obs.current().count("mstep.reference")
     per_term = [term.accumulate_stats(db, wts) for term in spec.terms]
     return pack_stats(spec, per_term)
 

@@ -34,6 +34,7 @@ from repro.engine.cycle import base_cycle
 from repro.engine.init import INIT_METHODS, initial_classification
 from repro.models.registry import ModelSpec
 from repro.models.summary import DataSummary
+from repro.obs import recorder as obs
 from repro.util.rng import SeedSequenceStream
 
 logger = logging.getLogger(__name__)
@@ -204,9 +205,12 @@ def run_search(
             break  # budget spent; at least one try is always completed
         j = config.select_n_classes(k, stream)
         logger.info("try %d: J=%d (seed %d)", k, j, config.seed)
-        clf0 = initial_classification(
-            db, spec, j, stream.child("try", k), method=config.init_method
-        )
+        rec = obs.current()
+        rec.try_boundary()
+        with rec.phase("init"):
+            clf0 = initial_classification(
+                db, spec, j, stream.child("try", k), method=config.init_method
+            )
         clf, converged = converge_try(db, clf0, config.checker())
         duplicate_of = next(
             (

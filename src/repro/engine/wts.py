@@ -27,6 +27,7 @@ from repro.data.database import Database
 from repro.engine.classification import Classification
 from repro.kernels import config as kernel_config
 from repro.kernels.estep import fused_local_update_wts
+from repro.obs import recorder as obs
 from repro.util import workhooks
 from repro.util.logspace import log_normalize_rows
 
@@ -82,6 +83,7 @@ def local_update_wts(
     if kernel_config.resolve(kernels) == "fused":
         return fused_local_update_wts(db, clf)
     workhooks.report("wts", db.n_items, clf.n_classes, clf.spec.n_stats)
+    obs.current().count("estep.reference")
     log_joint = compute_log_joint(db, clf)
     wts, log_z = log_normalize_rows(log_joint)
     payload = np.empty(clf.n_classes + N_EXTRA_SLOTS, dtype=np.float64)

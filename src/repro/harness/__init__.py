@@ -24,6 +24,7 @@ from repro.harness.runner import (
     fig6_elapsed,
     fig7_speedup,
     fig8_scaleup,
+    obs_phase_breakdown,
     t1_profile,
     t2_linear_sequential,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "fig6_elapsed",
     "fig7_speedup",
     "fig8_scaleup",
+    "obs_phase_breakdown",
     "t1_profile",
     "t2_linear_sequential",
 ]

@@ -888,3 +888,60 @@ def baseline_kmeans_comparison(
         sec_per_iter_kmeans=km_times,
         sec_per_cycle_pautoclass=pa_times,
     )
+
+
+# ---------------------------------------------------------------------------
+# EXP-OBS — instrumented phase breakdown through the observability layer.
+
+@dataclass
+class ObsResult:
+    """EXP-OBS: one instrumented fit and its merged run record."""
+
+    n_items: int
+    n_classes: int
+    record: "object"  # repro.obs.record.RunRecord
+
+    def render(self) -> str:
+        from repro.obs.report import render_run
+
+        head = (
+            "OBS — instrumented phase breakdown "
+            f"({self.n_items} tuples, J={self.n_classes}; "
+            "repro.obs record, same schema on every backend)"
+        )
+        return head + "\n\n" + render_run(self.record)
+
+
+def obs_phase_breakdown(
+    scale: ExperimentScale | None = None,
+    n_processors: int = 4,
+    backend: str = "threads",
+    n_classes: int = 8,
+    instrument: str = "phases",
+) -> ObsResult:
+    """EXP-OBS: per-rank compute vs Allreduce split on a real backend.
+
+    Runs one P-AutoClass fit with ``instrument="phases"`` (default) on
+    the ``threads`` world and renders the paper-style Tables 2/3-shaped
+    breakdown from the merged :class:`~repro.obs.record.RunRecord` —
+    the same report the ``sim`` backend produces in virtual seconds.
+    """
+    from repro.api import PAutoClass
+
+    scale = scale or ExperimentScale.from_env()
+    n_items = max(400, scale.sizes[0])
+    db = make_paper_database(n_items, seed=scale.seed)
+    pac = PAutoClass(
+        n_processors=n_processors,
+        backend=backend,
+        instrument=instrument,
+        start_j_list=(n_classes,),
+        max_n_tries=1,
+        seed=scale.seed,
+        max_cycles=max(scale.cycles_per_try, 3),
+    )
+    run = pac.fit(db)
+    assert run.record is not None
+    return ObsResult(
+        n_items=n_items, n_classes=n_classes, record=run.record
+    )

@@ -38,6 +38,7 @@ import numpy as np
 from repro.data.database import Database
 from repro.kernels.plan import KernelPlan, get_plan
 from repro.kernels.workspace import Workspace, get_workspace
+from repro.obs import recorder as obs
 from repro.util import workhooks
 from repro.util.logspace import LOG_FLOOR
 
@@ -133,6 +134,7 @@ def fused_local_update_wts(
     lifetime rules).
     """
     workhooks.report("wts", db.n_items, clf.n_classes, clf.spec.n_stats)
+    obs.current().count("estep.fused")
     if plan is None:
         plan = get_plan(db, clf.spec)
     ws = workspace or get_workspace(db.n_items, clf.n_classes)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.data.database import Database
 from repro.kernels.plan import KernelPlan, get_plan
 from repro.models.registry import ModelSpec, pack_stats
+from repro.obs import recorder as obs
 from repro.util import workhooks
 
 
@@ -40,6 +41,7 @@ def fused_local_update_parameters(
     design columns.
     """
     workhooks.report("params", db.n_items, wts.shape[1], spec.n_stats)
+    obs.current().count("mstep.fused")
     if plan is None:
         plan = get_plan(db, spec)
     if plan.design is not None:

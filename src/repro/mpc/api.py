@@ -98,6 +98,11 @@ class CollectiveConfig:
 class Communicator(ABC):
     """One rank's endpoint in an SPMD world of ``size`` ranks."""
 
+    #: What :meth:`wtime` measures — ``"wall"`` seconds on real worlds;
+    #: virtual-time simulators override with ``"virtual"``.  Read by the
+    #: observability layer so records carry their clock's meaning.
+    clock_kind = "wall"
+
     def __init__(
         self, rank: int, size: int, collectives: CollectiveConfig | None = None
     ) -> None:

@@ -21,6 +21,7 @@ from repro.data.database import Database
 from repro.engine.approx import update_approximations
 from repro.engine.classification import Classification
 from repro.mpc.api import Communicator
+from repro.obs import recorder as obs
 from repro.parallel.pparams import parallel_update_parameters
 from repro.parallel.pwts import parallel_update_wts
 
@@ -64,8 +65,17 @@ def parallel_base_cycle(
         kernels=kernels,
     )
     t2 = comm.wtime()
-    scores = update_approximations(clf, global_stats, reduction, n_total_items)
+    rec = obs.current()
+    with rec.phase("approx"):
+        scores = update_approximations(
+            clf, global_stats, reduction, n_total_items
+        )
     t3 = comm.wtime()
+    rec.cycle(
+        n_classes=clf.n_classes,
+        log_marginal=scores.log_marginal_cs,
+        w_j=reduction.w_j,
+    )
     new_clf = new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
     return new_clf, wts, ParallelCycleStats(
         seconds_wts=t1 - t0,

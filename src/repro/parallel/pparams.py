@@ -28,6 +28,7 @@ from repro.engine.classification import Classification
 from repro.engine.params import finalize_parameters, local_update_parameters
 from repro.mpc.api import Communicator
 from repro.mpc.reduceops import ReduceOp
+from repro.obs import recorder as obs
 
 
 #: Valid reduction granularities (see module docstring).
@@ -74,14 +75,35 @@ def parallel_update_parameters(
     re-parameterized classification and the global packed statistics.
     ``kernels`` selects the local implementation; the reduction payload
     layout (and so both granularities) is identical either way.
+
+    Observability: local statistics and the replicated finalize are
+    timed as phase ``"params"``, the reduction as phase
+    ``"allreduce_params"`` (the second instrumented Allreduce cut
+    point) — under ``per_term_class`` granularity the phase covers all
+    ``J x n_terms`` collectives and the comm event carries their count.
     """
-    local_stats = local_update_parameters(
-        local_db, clf.spec, wts, kernels=kernels
-    )
-    global_stats = reduce_stats(comm, clf.spec, local_stats, granularity)
-    log_pi, term_params = finalize_parameters(
-        clf.spec, global_stats, w_j, n_total_items
-    )
+    rec = obs.current()
+    with rec.phase("params"):
+        local_stats = local_update_parameters(
+            local_db, clf.spec, wts, kernels=kernels
+        )
+    if rec.enabled:
+        nbytes = local_stats.nbytes
+        nc0 = comm.stats.n_collectives
+        t0 = rec.clock()
+        global_stats = reduce_stats(comm, clf.spec, local_stats, granularity)
+        dt = rec.clock() - t0
+        rec.add_phase("allreduce_params", dt)
+        rec.comm_event(
+            "allreduce_params", nbytes, dt,
+            n_calls=max(comm.stats.n_collectives - nc0, 1),
+        )
+    else:
+        global_stats = reduce_stats(comm, clf.spec, local_stats, granularity)
+    with rec.phase("params"):
+        log_pi, term_params = finalize_parameters(
+            clf.spec, global_stats, w_j, n_total_items
+        )
     new_clf = Classification(
         spec=clf.spec,
         n_classes=clf.n_classes,

@@ -40,6 +40,7 @@ from repro.engine.search import (
 from repro.models.registry import ModelSpec
 from repro.mpc.api import Communicator
 from repro.mpc.reduceops import ReduceOp
+from repro.obs import recorder as obs
 from repro.util.rng import SeedSequenceStream
 
 
@@ -144,19 +145,22 @@ def run_parallel_search(
     spec.validate(local_db)
     stream = SeedSequenceStream(config.seed)
     result = SearchResult(config=config)
+    rec = obs.current()
     for k in range(config.max_n_tries):
         j = config.select_n_classes(k, stream)
-        clf0 = parallel_initial_classification(
-            local_db,
-            spec,
-            j,
-            n_total_items,
-            stream.child("try", k),
-            comm,
-            method=config.init_method,
-            full_db=full_db,
-            kernels=kernels,
-        )
+        rec.try_boundary()
+        with rec.phase("init"):
+            clf0 = parallel_initial_classification(
+                local_db,
+                spec,
+                j,
+                n_total_items,
+                stream.child("try", k),
+                comm,
+                method=config.init_method,
+                full_db=full_db,
+                kernels=kernels,
+            )
         clf, converged = parallel_converge_try(
             local_db, clf0, n_total_items, comm, config.checker(),
             kernels=kernels,

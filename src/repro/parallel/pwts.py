@@ -17,6 +17,7 @@ from repro.engine.classification import Classification
 from repro.engine.wts import WtsReduction, finalize_wts, local_update_wts
 from repro.mpc.api import Communicator
 from repro.mpc.reduceops import ReduceOp
+from repro.obs import recorder as obs
 
 
 def parallel_update_wts(
@@ -33,7 +34,22 @@ def parallel_update_wts(
     ``kernels`` selects the local implementation (fused kernels give
     every rank's local half the same speedup without touching this
     function's Allreduce cut point).
+
+    Observability: the local compute is timed as phase ``"wts"`` and the
+    Allreduce as phase ``"allreduce_wts"`` on the ambient
+    :mod:`repro.obs` recorder — one of the two instrumented cut points
+    of the paper's Figures 4/5.
     """
-    wts, payload = local_update_wts(local_db, clf, kernels=kernels)
-    payload = comm.allreduce(payload, ReduceOp.SUM)
+    rec = obs.current()
+    with rec.phase("wts"):
+        wts, payload = local_update_wts(local_db, clf, kernels=kernels)
+    if rec.enabled:
+        nbytes = payload.nbytes
+        t0 = rec.clock()
+        payload = comm.allreduce(payload, ReduceOp.SUM)
+        dt = rec.clock() - t0
+        rec.add_phase("allreduce_wts", dt)
+        rec.comm_event("allreduce_wts", nbytes, dt)
+    else:
+        payload = comm.allreduce(payload, ReduceOp.SUM)
     return wts, finalize_wts(payload, clf.n_classes)

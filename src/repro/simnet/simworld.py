@@ -59,6 +59,8 @@ COMPUTE_MODES = ("measured", "modeled", "counted")
 class SimComm(ThreadComm):
     """A rank endpoint whose clock runs in modelled-machine seconds."""
 
+    clock_kind = "virtual"
+
     def __init__(
         self,
         rank: int,

@@ -200,3 +200,19 @@ class TestTopologyAndBaseline:
         assert b1.speedup("kmeans")[1] > 1.5
         assert b1.speedup("pautoclass")[1] > 1.5
         assert "k-means" in b1.render()
+
+
+class TestObsPhaseBreakdown:
+    def test_obs_experiment_renders_paper_shaped_table(self):
+        from repro.harness.experiments import ExperimentScale
+        from repro.harness.runner import obs_phase_breakdown
+
+        res = obs_phase_breakdown(
+            ExperimentScale(factor=0.04, cycles_per_try=3), n_processors=4
+        )
+        assert res.record.n_processors == 4
+        assert res.record.clock == "wall"
+        text = res.render()
+        assert "OBS" in text
+        assert "Phase breakdown" in text
+        assert "ar-wts" in text and "ar-params" in text

@@ -1,0 +1,119 @@
+"""Tests for the paper-style reporting over run records."""
+
+import pytest
+
+from repro.obs.record import RankRecord, RunRecord
+from repro.obs.report import (
+    comm_table,
+    counter_table,
+    cycle_table,
+    phase_table,
+    render_run,
+    speedup_efficiency,
+    speedup_table,
+)
+
+
+def make_record(
+    backend="threads",
+    n_procs=2,
+    clock="wall",
+    instrument="phases",
+    wall=4.0,
+):
+    ranks = [
+        RankRecord(
+            rank=r,
+            size=n_procs,
+            instrument=instrument,
+            clock=clock,
+            wall_seconds=wall,
+            phase_seconds={
+                "wts": 2.0, "allreduce_wts": 0.5,
+                "params": 1.0, "allreduce_params": 0.25,
+            },
+            phase_calls={"wts": 10, "allreduce_wts": 10,
+                         "params": 10, "allreduce_params": 10},
+            comm={"bytes_sent": 1000.0, "n_collectives": 20.0,
+                  "n_sends": 5.0, "bytes_received": 1000.0},
+        )
+        for r in range(n_procs)
+    ]
+    return RunRecord(
+        backend=backend, n_processors=n_procs, instrument=instrument,
+        ranks=ranks,
+    )
+
+
+class TestPhaseTable:
+    def test_rows_and_shape(self):
+        out = phase_table(make_record())
+        assert "Tables 2-3" in out
+        assert "ar-wts" in out and "ar-params" in out
+        # one line per rank plus header material
+        assert out.count("\n") >= 3
+
+    def test_comm_share_column(self):
+        out = phase_table(make_record())
+        # 0.75 comm / 3.75 total = 20%
+        assert "20.0%" in out
+
+    def test_virtual_clock_unit(self):
+        out = phase_table(make_record(backend="sim", clock="virtual"))
+        assert "virtual s" in out
+        assert "(virtual clock)" in out
+
+
+class TestCompositeReport:
+    def test_render_run_phases_level(self):
+        out = render_run(make_record())
+        assert "Phase breakdown" in out
+        assert "Communication totals" in out
+        assert "elapsed" in out
+        assert "EM-cycle telemetry" not in out  # full-only
+
+    def test_cycle_table_hint_when_not_full(self):
+        assert "instrument='full'" in cycle_table(make_record())
+
+    def test_comm_and_counter_tables(self):
+        rec = make_record()
+        assert "bytes sent" in comm_table(rec)
+        assert "no counters" in counter_table(rec)
+        rec.ranks[0].counters["estep.fused"] = 3
+        rec.ranks[1].counters["estep.fused"] = 4
+        assert "7" in counter_table(rec)
+
+
+class TestSpeedup:
+    def test_speedup_efficiency_math(self):
+        table = speedup_efficiency({1: 10.0, 2: 5.0, 4: 4.0})
+        assert table[1] == pytest.approx((1.0, 1.0))
+        assert table[2] == pytest.approx((2.0, 1.0))
+        assert table[4] == pytest.approx((2.5, 0.625))
+
+    def test_speedup_table_renders(self):
+        records = [
+            make_record(n_procs=1, wall=8.0),
+            make_record(n_procs=2, wall=4.4),
+            make_record(n_procs=4, wall=2.6),
+        ]
+        out = speedup_table(records)
+        assert "Table 4" in out
+        assert "efficiency" in out
+
+    def test_speedup_table_rejects_mixed_backends(self):
+        with pytest.raises(ValueError, match="mix backends"):
+            speedup_table(
+                [make_record(backend="sim", clock="virtual"),
+                 make_record(backend="threads", n_procs=4)]
+            )
+
+    def test_speedup_table_rejects_duplicate_procs(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            speedup_table([make_record(), make_record()])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_efficiency({})
+        with pytest.raises(ValueError):
+            speedup_table([])

@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 import repro
-from repro import AutoClass, PAutoClass, make_paper_database
+from repro import (
+    BACKENDS,
+    AutoClass,
+    NotFittedError,
+    PAutoClass,
+    Run,
+    make_paper_database,
+    register_backend,
+)
 from repro.engine.search import SearchConfig
 
 
@@ -44,12 +52,48 @@ class TestAutoClass:
     def test_report_text(self, fitted):
         assert "Classes by weight" in fitted.report()
 
+    def test_fit_returns_unified_run(self, db, fitted):
+        run = fitted.run_
+        assert isinstance(run, Run)
+        assert run.backend == "sequential"
+        assert run.n_processors == 1
+        assert run.record is None  # default instrument="off"
+        assert run.result is fitted.result_
+        assert run.best is fitted.result_.best
+        assert "Search:" in run.summary()
+
+    def test_uninstrumented_run_report_raises(self, fitted):
+        with pytest.raises(ValueError, match="instrument"):
+            fitted.run_.report()
+
     def test_unfitted_raises(self):
         ac = AutoClass()
         with pytest.raises(RuntimeError, match="fit"):
             _ = ac.best_
         with pytest.raises(RuntimeError, match="fit"):
             ac.report()
+        with pytest.raises(NotFittedError):
+            ac.predict(make_paper_database(50, seed=0))
+
+    def test_not_fitted_error_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_bad_instrument_rejected(self):
+        with pytest.raises(ValueError, match="instrument"):
+            AutoClass(instrument="verbose")
+        with pytest.raises(ValueError, match="instrument"):
+            PAutoClass(instrument="verbose")
+
+    def test_instrumented_sequential_fit(self, db):
+        ac = AutoClass(
+            instrument="phases",
+            start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=10,
+        )
+        run = ac.fit(db)
+        assert run.record is not None
+        assert run.record.clock == "wall"
+        assert run.record.ranks[0].n_cycles > 0
+        assert "Phase breakdown" in run.report()
 
     def test_config_kwargs_forwarded(self):
         ac = AutoClass(start_j_list=(5,), seed=9)
@@ -117,6 +161,48 @@ class TestPAutoClass:
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError, match="fit"):
             _ = PAutoClass().best_
+        with pytest.raises(NotFittedError):
+            PAutoClass().report()
+
+
+class TestBackendRegistry:
+    def test_backends_is_a_registry_of_runners(self):
+        assert isinstance(BACKENDS, dict)
+        assert set(BACKENDS) >= {"serial", "threads", "processes", "sim"}
+        assert all(callable(runner) for runner in BACKENDS.values())
+
+    def test_register_backend_adds_runner(self, db):
+        calls = []
+
+        @register_backend("echo")
+        def _echo_backend(model, database, spec):
+            calls.append((model.n_processors, database.n_items))
+            return BACKENDS["serial"](model, database, spec)
+
+        try:
+            pac = PAutoClass(
+                n_processors=1, backend="echo",
+                start_j_list=(2,), max_n_tries=1, seed=3, max_cycles=5,
+            )
+            run = pac.fit(db)
+            assert calls == [(1, db.n_items)]
+            assert run.backend == "serial"  # delegated runner labeled it
+        finally:
+            del BACKENDS["echo"]
+        with pytest.raises(ValueError, match="backend"):
+            PAutoClass(backend="echo")
+
+    def test_instrumented_threads_run_has_per_rank_record(self, db):
+        pac = PAutoClass(
+            n_processors=4, backend="threads", instrument="phases",
+            start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=8,
+        )
+        run = pac.fit(db)
+        assert run.record is not None
+        assert len(run.record.ranks) == 4
+        report = run.report()
+        assert "Phase breakdown" in report
+        assert "ar-wts" in report and "ar-params" in report
 
 
 class TestSearchConfigIntegration:
@@ -135,19 +221,39 @@ class TestTracing:
         with pytest.raises(ValueError, match="sim"):
             PAutoClass(backend="threads", trace=True)
 
-    def test_sim_trace_produces_timeline(self, db):
+    def test_trace_is_deprecated_and_maps_to_full(self):
+        with pytest.warns(DeprecationWarning, match="instrument"):
+            pac = PAutoClass(backend="sim", trace=True)
+        assert pac.instrument == "full"
+
+    def test_sim_instrument_full_produces_timeline(self, db):
         pac = PAutoClass(
-            n_processors=3, backend="sim", trace=True,
+            n_processors=3, backend="sim", instrument="full",
             start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=5,
         )
         run = pac.fit(db)
         assert run.timeline is not None
         assert "timeline:" in run.timeline
         assert "wait share" in run.timeline
+        # ...and the record is in virtual seconds.
+        assert run.record is not None
+        assert run.record.clock == "virtual"
+        assert "virtual s" in run.report()
+
+    def test_deprecated_trace_still_produces_timeline(self, db):
+        with pytest.warns(DeprecationWarning):
+            pac = PAutoClass(
+                n_processors=2, backend="sim", trace=True,
+                start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=5,
+            )
+        run = pac.fit(db)
+        assert run.timeline is not None
 
     def test_no_trace_by_default(self, db):
         pac = PAutoClass(
             n_processors=2, backend="sim",
             start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=5,
         )
-        assert pac.fit(db).timeline is None
+        run = pac.fit(db)
+        assert run.timeline is None
+        assert run.record is None

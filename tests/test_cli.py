@@ -132,6 +132,61 @@ class TestTraceFlag:
         out = capsys.readouterr().out
         assert "timeline:" in out and "rank  0" in out
 
+    def test_trace_rejected_off_sim(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "--synthetic", "60", "--j-list", "2",
+                 "--backend", "threads", "--trace"]
+            )
+
+
+class TestInstrumentFlag:
+    def test_instrument_prints_phase_breakdown(self, capsys):
+        code = main(
+            ["run", "--synthetic", "80", "--j-list", "2", "--seed", "2",
+             "--max-cycles", "5", "--backend", "threads", "--procs", "2",
+             "--instrument", "phases"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        assert "ar-wts" in out
+
+    def test_instrument_sequential(self, capsys):
+        code = main(
+            ["run", "--synthetic", "80", "--j-list", "2", "--seed", "2",
+             "--max-cycles", "5", "--instrument", "full"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        assert "EM-cycle telemetry" in out
+
+    def test_obs_out_writes_valid_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "obs.jsonl"
+        code = main(
+            ["run", "--synthetic", "80", "--j-list", "2", "--seed", "2",
+             "--max-cycles", "5", "--backend", "sim", "--procs", "2",
+             "--instrument", "full", "--obs-out", str(path)]
+        )
+        assert code == 0
+        from repro.obs.record import validate_jsonl
+
+        record = validate_jsonl(path)
+        assert record.n_processors == 2
+        assert record.clock == "virtual"
+
+    def test_obs_out_requires_instrument(self, tmp_path):
+        with pytest.raises(SystemExit, match="instrument"):
+            main(
+                ["run", "--synthetic", "60", "--j-list", "2",
+                 "--obs-out", str(tmp_path / "x.jsonl")]
+            )
+
+    def test_experiments_obs_choice_accepted(self):
+        args = build_parser().parse_args(["experiments", "--which", "obs"])
+        assert args.which == "obs"
+
 
 class TestPredictCommand:
     def _fit(self, tmp_path):
