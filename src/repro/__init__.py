@@ -33,6 +33,7 @@ Package map (details in DESIGN.md):
 ``repro.simnet``          virtual-time multicomputer (Meiko CS-2 model)
 ``repro.parallel``        P-AutoClass — the paper's contribution
 ``repro.obs``             run observability (phase timers, records, report)
+``repro.ckpt``            checkpoint/restart for durable searches
 ``repro.harness``         experiment runners for every figure/claim
 ========================  ==================================================
 """
@@ -46,6 +47,8 @@ from repro.api import (
     Run,
     register_backend,
 )
+from repro.ckpt import CheckpointError, Checkpointer, CheckpointSpec
+from repro.mpc.faults import FaultInjected, FaultInjector, FaultSpec
 from repro.data import (
     AttributeSet,
     Database,
@@ -65,8 +68,14 @@ __all__ = [
     "AttributeSet",
     "AutoClass",
     "BACKENDS",
+    "CheckpointError",
+    "CheckpointSpec",
+    "Checkpointer",
     "Database",
     "DiscreteAttribute",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultSpec",
     "ModelSpec",
     "NotFittedError",
     "PAutoClass",

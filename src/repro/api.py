@@ -24,12 +24,16 @@ to produce (``trace`` is deprecated and maps to ``instrument="full"``).
 
 from __future__ import annotations
 
+import logging
+import time
 import warnings
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
+from pathlib import Path
 
 import numpy as np
 
+from repro.ckpt.manager import CheckpointSpec, check_policy
 from repro.data.database import Database
 from repro.engine.classification import Classification
 from repro.engine.report import classification_report, membership
@@ -40,9 +44,64 @@ from repro.mpc.api import CollectiveConfig
 from repro.mpc.procworld import run_spmd_processes
 from repro.mpc.serial import SerialComm
 from repro.mpc.threadworld import run_spmd_threads
-from repro.obs.record import RunRecord
+from repro.obs.record import CommEventRecord, RunRecord
 from repro.obs.recorder import Recorder, check_instrument, recording
 from repro.obs.runtime import build_run_record, recorded_pautoclass
+
+logger = logging.getLogger(__name__)
+
+#: Exponential-backoff schedule for checkpointed restarts: the n-th
+#: retry waits ``RESTART_BACKOFF_BASE * 2**(n-1)`` seconds, capped.
+RESTART_BACKOFF_BASE = 0.05
+RESTART_BACKOFF_CAP = 5.0
+
+
+def restart_backoff_seconds(attempt: int) -> float:
+    """Backoff before retry ``attempt`` (1-based), exponential + capped."""
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    return min(RESTART_BACKOFF_BASE * (2 ** (attempt - 1)), RESTART_BACKOFF_CAP)
+
+
+def _resolve_checkpoint(
+    checkpoint: str,
+    checkpoint_dir: str | Path | None,
+    resume: bool,
+) -> CheckpointSpec | None:
+    """Normalize the fit-level checkpoint options into a CheckpointSpec."""
+    if checkpoint == "off":
+        if checkpoint_dir is not None:
+            # A directory without a policy means "checkpoint, cheaply".
+            checkpoint = "per_try"
+        else:
+            return None
+    check_policy(checkpoint)
+    if checkpoint_dir is None:
+        raise ValueError(
+            f"checkpoint={checkpoint!r} requires checkpoint_dir="
+        )
+    return CheckpointSpec(
+        directory=str(checkpoint_dir), policy=checkpoint, resume=resume
+    )
+
+
+def _surface_restarts(run: Run) -> None:
+    """Expose restart bookkeeping through the run's obs record.
+
+    Rank 0's record gains a ``restarts`` counter and one comm event per
+    retry (phase ``"restart"``, ``seconds`` = the backoff slept), so an
+    instrumented fault-tolerant run carries its recovery history in the
+    same schema as everything else.  No-op when uninstrumented or when
+    the run was clean.
+    """
+    if run.record is None or not run.retry_log:
+        return
+    rank0 = run.record.ranks[0]
+    rank0.counters["restarts"] = run.restarts
+    for _attempt, backoff, _reason in run.retry_log:
+        rank0.comm_events.append(
+            CommEventRecord(phase="restart", nbytes=0, seconds=backoff)
+        )
 
 
 class NotFittedError(RuntimeError):
@@ -76,6 +135,10 @@ class Run:
     #: Rendered virtual-time schedule (``"sim"`` backend with
     #: ``instrument="full"`` only).
     timeline: str | None = None
+    #: How many checkpointed restarts the fit needed (0 = clean run).
+    restarts: int = 0
+    #: One ``(attempt, backoff_seconds, reason)`` per restart.
+    retry_log: tuple = ()
 
     @property
     def best(self):
@@ -162,7 +225,8 @@ def _serial_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
         raise ValueError("serial backend supports exactly 1 processor")
     comm = SerialComm(model.collectives)
     pair = recorded_pautoclass(
-        comm, db, model.config, spec, instrument=model.instrument
+        comm, db, model.config, spec, instrument=model.instrument,
+        ckpt=model._ckpt_spec, faults=model._faults,
     )
     return _assemble_run(model, "serial", [pair])
 
@@ -177,6 +241,8 @@ def _threads_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
         spec,
         collectives=model.collectives,
         instrument=model.instrument,
+        ckpt=model._ckpt_spec,
+        faults=model._faults,
     )
     return _assemble_run(model, "threads", pairs)
 
@@ -196,6 +262,8 @@ def _processes_backend(
         spec,
         collectives=model.collectives,
         instrument=model.instrument,
+        ckpt=model._ckpt_spec,
+        faults=model._faults,
     )
     return _assemble_run(model, "processes", pairs)
 
@@ -218,6 +286,8 @@ def _sim_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
         compute_mode="counted",
         tracer=tracer,
         instrument=model.instrument,
+        ckpt=model._ckpt_spec,
+        faults=model._faults,
     )
     timeline = None
     if tracer is not None:
@@ -262,26 +332,78 @@ class AutoClass:
 
     # -- fitting ---------------------------------------------------------
 
-    def fit(self, db: Database) -> Run:
-        """Run the BIG_LOOP search; returns (and stores) the :class:`Run`."""
-        record = None
-        if self.instrument == "off":
-            result = run_search(db, self.config, self.spec)
-        else:
-            rec = Recorder(level=self.instrument)
-            with recording(rec):
-                result = run_search(db, self.config, self.spec)
-            record = build_run_record(
-                "sequential", 1, self.instrument, [rec.to_rank_record()]
-            )
-        self.result_ = result
-        self.run_ = Run(
+    def fit(
+        self,
+        db: Database,
+        *,
+        checkpoint: str = "off",
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = True,
+        max_restarts: int = 0,
+    ) -> Run:
+        """Run the BIG_LOOP search; returns (and stores) the :class:`Run`.
+
+        ``checkpoint``/``checkpoint_dir`` make the search durable (see
+        :mod:`repro.ckpt`): state is persisted at try boundaries
+        (``"per_try"``) or after every EM cycle (``"per_cycle"``), and a
+        rerun with ``resume=True`` picks up where the file left off —
+        bit-identically.  ``max_restarts`` retries a failed search from
+        its checkpoint with exponential backoff.
+        """
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0: {max_restarts}")
+        ckpt_spec = _resolve_checkpoint(checkpoint, checkpoint_dir, resume)
+        if max_restarts and ckpt_spec is None:
+            raise ValueError("max_restarts needs checkpointing enabled")
+        attempt = 0
+        retry_log: list[tuple[int, float, str]] = []
+        while True:
+            spec = ckpt_spec
+            if spec is not None and attempt > 0:
+                spec = dc_replace(spec, resume=True)  # retries must resume
+            checkpointer = None if spec is None else spec.build(0)
+            try:
+                record = None
+                if self.instrument == "off":
+                    result = run_search(
+                        db, self.config, self.spec, checkpointer=checkpointer
+                    )
+                else:
+                    rec = Recorder(level=self.instrument)
+                    with recording(rec):
+                        result = run_search(
+                            db, self.config, self.spec,
+                            checkpointer=checkpointer,
+                        )
+                    record = build_run_record(
+                        "sequential", 1, self.instrument,
+                        [rec.to_rank_record()],
+                    )
+                break
+            except RuntimeError as exc:
+                attempt += 1
+                if attempt > max_restarts:
+                    raise
+                backoff = restart_backoff_seconds(attempt)
+                reason = str(exc).splitlines()[0]
+                retry_log.append((attempt, backoff, reason))
+                logger.warning(
+                    "fit attempt %d failed (%s); restarting from "
+                    "checkpoint in %.3gs", attempt, exc, backoff,
+                )
+                time.sleep(backoff)
+        run = Run(
             result=result,
             backend="sequential",
             n_processors=1,
             instrument=self.instrument,
             record=record,
+            restarts=len(retry_log),
+            retry_log=tuple(retry_log),
         )
+        _surface_restarts(run)
+        self.result_ = result
+        self.run_ = run
         self._db = db
         return self.run_
 
@@ -362,13 +484,73 @@ class PAutoClass:
         self.config = SearchConfig(**config)
         self.run_: Run | None = None
         self._db: Database | None = None
+        #: Fit-time checkpoint/fault options; backend runners read these
+        #: off the model because the runner signature is fixed.
+        self._ckpt_spec: CheckpointSpec | None = None
+        self._faults = None
 
-    def fit(self, db: Database) -> Run:
-        """Run the SPMD search on the configured backend."""
+    def fit(
+        self,
+        db: Database,
+        *,
+        checkpoint: str = "off",
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = True,
+        max_restarts: int = 0,
+        faults=None,
+    ) -> Run:
+        """Run the SPMD search on the configured backend.
+
+        ``checkpoint``/``checkpoint_dir`` enable the rank-0-writes /
+        all-ranks-restore checkpoint protocol (:mod:`repro.ckpt`);
+        ``max_restarts`` retries a failed world from the checkpoint with
+        exponential backoff.  ``faults`` — a
+        :class:`repro.mpc.faults.FaultInjector` — injects rank failures
+        for testing; injected faults are disarmed on restart (they model
+        transient node losses; a persistent fault would defeat any retry
+        budget).  Restart bookkeeping is surfaced as ``run.restarts`` /
+        ``run.retry_log`` and, when instrumented, as a ``restarts``
+        counter plus ``"restart"`` comm events on rank 0's record.
+        """
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0: {max_restarts}")
+        ckpt_spec = _resolve_checkpoint(checkpoint, checkpoint_dir, resume)
+        if max_restarts and ckpt_spec is None:
+            raise ValueError("max_restarts needs checkpointing enabled")
         spec = self.spec or ModelSpec.default_for(
             db.schema, DataSummary.from_database(db)
         )
-        self.run_ = BACKENDS[self.backend](self, db, spec)
+        attempt = 0
+        retry_log: list[tuple[int, float, str]] = []
+        while True:
+            self._ckpt_spec = ckpt_spec
+            if ckpt_spec is not None and attempt > 0:
+                self._ckpt_spec = dc_replace(ckpt_spec, resume=True)
+            self._faults = faults if attempt == 0 else None
+            try:
+                run = BACKENDS[self.backend](self, db, spec)
+                break
+            except RuntimeError as exc:
+                attempt += 1
+                if attempt > max_restarts:
+                    raise
+                backoff = restart_backoff_seconds(attempt)
+                reason = str(exc).splitlines()[0]
+                retry_log.append((attempt, backoff, reason))
+                logger.warning(
+                    "SPMD fit attempt %d failed (%s); restarting from "
+                    "checkpoint in %.3gs", attempt, exc, backoff,
+                )
+                time.sleep(backoff)
+            finally:
+                self._ckpt_spec = None
+                self._faults = None
+        if retry_log:
+            run = dc_replace(
+                run, restarts=len(retry_log), retry_log=tuple(retry_log)
+            )
+            _surface_restarts(run)
+        self.run_ = run
         self._db = db
         return self.run_
 

@@ -1,0 +1,321 @@
+"""The checkpoint file format — versioned, validated, atomic.
+
+A checkpoint freezes the BIG_LOOP at one of its two well-defined cut
+points (the same Allreduce boundaries :mod:`repro.obs` instruments):
+
+* **per-try** — after a classification try has converged and been
+  recorded (duplicate-eliminated or stored);
+* **per-cycle** — after one EM ``base_cycle``, i.e. after both
+  Allreduces, when parameters and scores are *global* and identical on
+  every rank.
+
+Because every decision the search takes downstream of a cut point is a
+deterministic function of (a) the seed-derived RNG streams and (b) the
+globally reduced scores, the captured state — completed tries with
+their duplicate-elimination history, the in-progress try's parameters
++ convergence window, and the RNG stream states — is sufficient to
+continue the run **bit-identically** to an uninterrupted one.  The
+differential tests in ``tests/ckpt`` assert exactly that on all four
+SPMD worlds.
+
+File-level guarantees:
+
+* **Versioned** — every file carries ``format_version``; a reader
+  refuses versions it does not understand with :class:`CheckpointError`.
+* **Keyed** — a digest over the search config, model spec, and global
+  item count is stored and re-checked on load, so a checkpoint can
+  never silently resume a *different* search.  The world size is
+  deliberately *not* part of the key: the state is global, so a search
+  checkpointed on P ranks may resume on Q ranks.
+* **Atomic** — writes go to a same-directory temp file which is fsynced
+  and then ``os.replace``d over the target, so a reader (or a rank that
+  died mid-write) only ever sees a complete previous checkpoint.
+* **Clean failures** — a truncated, corrupt, or mismatched file raises
+  :class:`CheckpointError`, never a bare pickle/JSON/IO error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.classification import Classification, Scores
+from repro.engine.results_io import _decode_params, _encode_params
+from repro.engine.search import SearchConfig, SearchResult, TryResult
+from repro.models.registry import ModelSpec
+
+#: Version stamped into (and required of) every checkpoint file.
+CKPT_FORMAT_VERSION = 1
+
+#: The ``kind`` marker distinguishing checkpoints from results files.
+CKPT_KIND = "pautoclass-checkpoint"
+
+
+class CheckpointError(RuntimeError):
+    """An unreadable, corrupt, truncated, or mismatched checkpoint."""
+
+
+# ---------------------------------------------------------------------------
+# resume-safety key
+
+def checkpoint_key(
+    config: SearchConfig, spec: ModelSpec, n_total_items: int
+) -> str:
+    """Digest identifying which search a checkpoint belongs to.
+
+    Covers every input that determines the search trajectory: the full
+    :class:`SearchConfig`, the model form (term models over attribute
+    indices), and the global item count.  World size is excluded on
+    purpose — resume may change it.
+    """
+    spec_lines = [
+        f"{term.spec_name}:{','.join(map(str, term.attribute_indices))}"
+        for term in spec.terms
+    ]
+    blob = json.dumps(
+        {
+            "start_j_list": list(config.start_j_list),
+            "max_n_tries": config.max_n_tries,
+            "rel_delta": config.rel_delta,
+            "n_consecutive": config.n_consecutive,
+            "max_cycles": config.max_cycles,
+            "init_method": config.init_method,
+            "seed": config.seed,
+            "duplicate_eps": config.duplicate_eps,
+            "spec": spec_lines,
+            "n_total_items": n_total_items,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# classification state (lean: validated against the live spec on load)
+
+def _clf_to_dict(clf: Classification) -> dict:
+    payload: dict = {
+        "n_classes": clf.n_classes,
+        "log_pi": clf.log_pi.tolist(),
+        "term_params": [
+            {"model": term.spec_name, "params": _encode_params(params)}
+            for term, params in zip(clf.spec.terms, clf.term_params)
+        ],
+        "n_cycles": clf.n_cycles,
+    }
+    if clf.scores is not None:
+        payload["scores"] = {
+            "log_marginal_cs": clf.scores.log_marginal_cs,
+            "log_lik_obs": clf.scores.log_lik_obs,
+            "log_map_objective": clf.scores.log_map_objective,
+            "w_j": clf.scores.w_j.tolist(),
+            "n_items": clf.scores.n_items,
+        }
+    return payload
+
+
+def _clf_from_dict(data: dict, spec: ModelSpec) -> Classification:
+    entries = data["term_params"]
+    if len(entries) != spec.n_terms:
+        raise CheckpointError(
+            f"checkpoint has {len(entries)} term-parameter blocks for a "
+            f"{spec.n_terms}-term model"
+        )
+    term_params = []
+    for term, entry in zip(spec.terms, entries):
+        if entry["model"] != term.spec_name:
+            raise CheckpointError(
+                f"term model mismatch: live spec says {term.spec_name!r}, "
+                f"checkpoint says {entry['model']!r}"
+            )
+        term_params.append(_decode_params(entry["model"], entry["params"]))
+    scores = None
+    if "scores" in data:
+        s = data["scores"]
+        scores = Scores(
+            log_marginal_cs=s["log_marginal_cs"],
+            log_lik_obs=s["log_lik_obs"],
+            log_map_objective=s["log_map_objective"],
+            w_j=np.asarray(s["w_j"], dtype=np.float64),
+            n_items=s["n_items"],
+        )
+    return Classification(
+        spec=spec,
+        n_classes=data["n_classes"],
+        log_pi=np.asarray(data["log_pi"], dtype=np.float64),
+        term_params=tuple(term_params),
+        scores=scores,
+        n_cycles=data["n_cycles"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# search state
+
+@dataclass
+class InProgressTry:
+    """EM state of a try interrupted between cycles.
+
+    ``classification`` is the post-cycle state (parameters *and*
+    scores are global at the cut point); ``checker_history`` is the
+    convergence window — restoring both and re-entering the cycle loop
+    is indistinguishable from never having stopped.
+    """
+
+    try_index: int
+    n_classes_requested: int
+    classification: Classification
+    checker_history: list[float]
+
+
+@dataclass
+class CheckpointState:
+    """Everything a checkpoint captures, decoded and validated."""
+
+    key: str
+    completed_tries: list[TryResult]
+    in_progress: InProgressTry | None
+    rng_streams: dict[str, dict]
+
+    @property
+    def next_try_index(self) -> int:
+        return len(self.completed_tries)
+
+
+def encode_checkpoint(
+    key: str,
+    result: SearchResult,
+    in_progress: InProgressTry | None,
+    rng_streams: dict[str, dict],
+) -> dict:
+    """Build the (JSON-serializable) checkpoint payload."""
+    payload: dict = {
+        "format_version": CKPT_FORMAT_VERSION,
+        "kind": CKPT_KIND,
+        "key": key,
+        "completed_tries": [
+            {
+                "try_index": t.try_index,
+                "n_classes_requested": t.n_classes_requested,
+                "converged": t.converged,
+                "n_cycles": t.n_cycles,
+                "duplicate_of": t.duplicate_of,
+                "classification": _clf_to_dict(t.classification),
+            }
+            for t in result.tries
+        ],
+        "in_progress": None,
+        "rng_streams": rng_streams,
+    }
+    if in_progress is not None:
+        payload["in_progress"] = {
+            "try_index": in_progress.try_index,
+            "n_classes_requested": in_progress.n_classes_requested,
+            "classification": _clf_to_dict(in_progress.classification),
+            "checker_history": list(in_progress.checker_history),
+        }
+    return payload
+
+
+def decode_checkpoint(
+    payload: dict, key: str, spec: ModelSpec
+) -> CheckpointState:
+    """Validate and decode a checkpoint payload against the live search.
+
+    Raises :class:`CheckpointError` on any structural problem, version
+    drift, or key mismatch (resuming a different search).
+    """
+    try:
+        if payload.get("kind") != CKPT_KIND:
+            raise CheckpointError(
+                f"not a checkpoint file (kind={payload.get('kind')!r})"
+            )
+        version = payload.get("format_version")
+        if version != CKPT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format version {version!r} not supported "
+                f"(expected {CKPT_FORMAT_VERSION})"
+            )
+        if payload.get("key") != key:
+            raise CheckpointError(
+                "checkpoint belongs to a different search (config, model "
+                "spec, or dataset changed since it was written)"
+            )
+        completed = []
+        for entry in payload["completed_tries"]:
+            completed.append(
+                TryResult(
+                    try_index=entry["try_index"],
+                    n_classes_requested=entry["n_classes_requested"],
+                    classification=_clf_from_dict(
+                        entry["classification"], spec
+                    ),
+                    converged=entry["converged"],
+                    n_cycles=entry["n_cycles"],
+                    duplicate_of=entry["duplicate_of"],
+                )
+            )
+        in_progress = None
+        if payload.get("in_progress") is not None:
+            ip = payload["in_progress"]
+            in_progress = InProgressTry(
+                try_index=ip["try_index"],
+                n_classes_requested=ip["n_classes_requested"],
+                classification=_clf_from_dict(ip["classification"], spec),
+                checker_history=[float(x) for x in ip["checker_history"]],
+            )
+        return CheckpointState(
+            key=key,
+            completed_tries=completed,
+            in_progress=in_progress,
+            rng_streams=dict(payload.get("rng_streams", {})),
+        )
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise CheckpointError(f"malformed checkpoint: {exc!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# atomic file IO
+
+def atomic_write_json(payload: dict, path: str | Path) -> Path:
+    """Write ``payload`` as JSON with write-temp → fsync → rename.
+
+    The temp file lives in the target's directory so the final
+    ``os.replace`` is a same-filesystem atomic rename; a crash at any
+    point leaves either the previous complete file or none at all.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    text = json.dumps(payload, indent=1)
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_checkpoint_file(path: str | Path) -> dict:
+    """Read a checkpoint payload; any IO/parse problem is a CheckpointError."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path} (truncated or not JSON): {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"corrupt checkpoint {path}: not an object")
+    return payload

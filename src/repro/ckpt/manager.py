@@ -1,0 +1,216 @@
+"""Checkpoint policy + IO orchestration for the search loops.
+
+A :class:`Checkpointer` owns one checkpoint file and a write policy.
+The SPMD contract is **rank 0 writes, all ranks restore**: every rank
+holds a Checkpointer for the same path, but only the writer rank
+serializes state (the state is identical on every rank at a cut point,
+so one copy is enough); at resume time every rank reads the same file
+and therefore starts from byte-identical state — no broadcast needed.
+
+Policies (:data:`CHECKPOINT_POLICIES`):
+
+* ``"off"``       — never write (the null object; loops stay branchless);
+* ``"per_try"``   — write at try boundaries only (cheapest, the
+  recommended default: a restart repeats at most one try);
+* ``"per_cycle"`` — additionally write after every ``cycle_interval``
+  EM cycles (a restart repeats at most ``cycle_interval`` cycles).
+
+Writes are counted through the ambient :mod:`repro.obs` recorder
+(``ckpt_saves`` counter) so instrumented runs show their checkpoint
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.ckpt.format import (
+    CheckpointState,
+    InProgressTry,
+    atomic_write_json,
+    checkpoint_key,
+    decode_checkpoint,
+    encode_checkpoint,
+    read_checkpoint_file,
+)
+from repro.engine.search import SearchConfig, SearchResult
+from repro.models.registry import ModelSpec
+from repro.obs import recorder as obs
+from repro.util.rng import SeedSequenceStream
+
+#: Valid ``checkpoint=`` policies of the fit APIs.
+CHECKPOINT_POLICIES = ("off", "per_try", "per_cycle")
+
+#: Default checkpoint file name inside a checkpoint directory.
+CKPT_FILENAME = "ckpt.json"
+
+
+def check_policy(policy: str) -> str:
+    """Validate a ``checkpoint=`` argument."""
+    if policy not in CHECKPOINT_POLICIES:
+        raise ValueError(
+            f"checkpoint policy {policy!r} not in {CHECKPOINT_POLICIES}"
+        )
+    return policy
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Picklable description of a checkpoint setup.
+
+    This is what crosses process boundaries (the ``processes`` world
+    pickles the SPMD entry's arguments); each rank materializes its own
+    :class:`Checkpointer` from it via :meth:`build`.
+    """
+
+    directory: str
+    policy: str = "per_try"
+    resume: bool = True
+    cycle_interval: int = 1
+    filename: str = CKPT_FILENAME
+
+    def __post_init__(self) -> None:
+        check_policy(self.policy)
+        if self.policy == "off":
+            raise ValueError("CheckpointSpec with policy 'off' is pointless; "
+                             "pass checkpointer=None instead")
+        if self.cycle_interval < 1:
+            raise ValueError(
+                f"cycle_interval must be >= 1, got {self.cycle_interval}"
+            )
+
+    def build(self, rank: int = 0) -> "Checkpointer":
+        return Checkpointer(
+            self.directory,
+            policy=self.policy,
+            resume=self.resume,
+            cycle_interval=self.cycle_interval,
+            rank=rank,
+            filename=self.filename,
+        )
+
+
+class Checkpointer:
+    """One search's checkpoint file, with rank-0-writes semantics."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        policy: str = "per_try",
+        resume: bool = True,
+        cycle_interval: int = 1,
+        rank: int = 0,
+        filename: str = CKPT_FILENAME,
+    ) -> None:
+        check_policy(policy)
+        if policy == "off":
+            raise ValueError(
+                "Checkpointer(policy='off') is pointless; pass None instead"
+            )
+        if cycle_interval < 1:
+            raise ValueError(
+                f"cycle_interval must be >= 1, got {cycle_interval}"
+            )
+        self.directory = Path(directory)
+        self.policy = policy
+        self.resume = resume
+        self.cycle_interval = cycle_interval
+        self.rank = rank
+        self.path = self.directory / filename
+        self._key: str | None = None
+        self.n_saves = 0
+
+    # -- binding -----------------------------------------------------------
+
+    @property
+    def is_writer(self) -> bool:
+        return self.rank == 0
+
+    def bind(
+        self, config: SearchConfig, spec: ModelSpec, n_total_items: int
+    ) -> None:
+        """Fix the resume-safety key for this search (call before use)."""
+        self._key = checkpoint_key(config, spec, n_total_items)
+
+    def _require_key(self) -> str:
+        if self._key is None:
+            raise RuntimeError("Checkpointer.bind() must be called first")
+        return self._key
+
+    # -- restore (all ranks) ----------------------------------------------
+
+    def load(self, spec: ModelSpec) -> CheckpointState | None:
+        """Read + validate the checkpoint; None when absent or resume=False.
+
+        A present-but-corrupt file raises
+        :class:`~repro.ckpt.format.CheckpointError` — a half-written
+        temp file can never be picked up because writes are atomic.
+        """
+        key = self._require_key()
+        if not self.resume or not self.path.exists():
+            return None
+        payload = read_checkpoint_file(self.path)
+        return decode_checkpoint(payload, key, spec)
+
+    # -- save (rank 0 only) ------------------------------------------------
+
+    def save(
+        self,
+        result: SearchResult,
+        stream: SeedSequenceStream,
+        in_progress: InProgressTry | None = None,
+    ) -> None:
+        """Atomically persist the search state (no-op off the writer rank)."""
+        if not self.is_writer:
+            return
+        payload = encode_checkpoint(
+            self._require_key(), result, in_progress, stream.state_dict()
+        )
+        atomic_write_json(payload, self.path)
+        self.n_saves += 1
+        obs.current().count("ckpt_saves")
+
+    def save_boundary(self, result: SearchResult, stream: SeedSequenceStream) -> None:
+        """Per-try cut point: all recorded tries are complete."""
+        self.save(result, stream, in_progress=None)
+
+    def save_cycle(
+        self,
+        result: SearchResult,
+        stream: SeedSequenceStream,
+        *,
+        try_index: int,
+        n_classes_requested: int,
+        clf,
+        checker,
+    ) -> None:
+        """Per-cycle cut point: freeze the in-progress try's EM state.
+
+        No-op unless the policy asks for a save at this cycle.  ``clf``
+        is the post-cycle classification (``clf.n_cycles`` is the
+        1-based cycle count within the try) and ``checker`` the live
+        convergence checker whose history *includes* this cycle's score.
+        """
+        if not self.want_cycle_save(clf.n_cycles):
+            return
+        self.save(
+            result,
+            stream,
+            in_progress=InProgressTry(
+                try_index=try_index,
+                n_classes_requested=n_classes_requested,
+                classification=clf,
+                checker_history=list(checker.history),
+            ),
+        )
+
+    # -- policy ------------------------------------------------------------
+
+    def want_cycle_save(self, cycle_index: int) -> bool:
+        """Should the loop checkpoint after this (1-based) cycle?"""
+        return (
+            self.policy == "per_cycle"
+            and cycle_index % self.cycle_interval == 0
+        )

@@ -23,6 +23,7 @@ import argparse
 import sys
 
 from repro.api import BACKENDS, AutoClass, PAutoClass
+from repro.ckpt.manager import CHECKPOINT_POLICIES
 from repro.obs.recorder import INSTRUMENT_LEVELS
 from repro.data.io import load_database, save_database
 from repro.data.synth import make_paper_database
@@ -93,13 +94,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-out", metavar="PATH",
         help="write the detailed per-class report (AutoClass .rlog style)",
     )
+    p_run.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="directory for checkpoint/restart state (see "
+             "docs/fault_tolerance.md); enables checkpointing",
+    )
+    p_run.add_argument(
+        "--checkpoint", choices=CHECKPOINT_POLICIES, default="off",
+        help="checkpoint cut-point policy (default: per_try when "
+             "--checkpoint-dir is given)",
+    )
+    p_run.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="resume from an existing checkpoint in --checkpoint-dir "
+             "(--no-resume starts fresh; default: resume)",
+    )
+    p_run.add_argument(
+        "--max-restarts", type=int, default=0, metavar="N",
+        help="retry a failed run from its checkpoint up to N times "
+             "with exponential backoff (default 0)",
+    )
 
     p_exp = sub.add_parser("experiments", help="regenerate paper results")
     p_exp.add_argument(
         "--which",
         choices=(
             "fig6", "fig7", "fig8", "t1", "t2",
-            "a1", "a2", "a3", "a4", "a5", "b1", "obs", "all",
+            "a1", "a2", "a3", "a4", "a5", "b1", "obs", "fault", "all",
         ),
         default="all",
     )
@@ -147,8 +168,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         instrument = "full"
     if args.obs_out and instrument == "off":
         raise SystemExit("--obs-out requires --instrument phases|full")
+    fit_options = dict(
+        checkpoint=args.checkpoint,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        max_restarts=args.max_restarts,
+    )
+    if args.checkpoint != "off" and args.checkpoint_dir is None:
+        raise SystemExit(f"--checkpoint {args.checkpoint} needs --checkpoint-dir")
     if args.backend == "sequential":
         if args.model_search:
+            if args.checkpoint_dir or args.checkpoint != "off":
+                raise SystemExit(
+                    "--model-search does not support checkpointing yet"
+                )
             from repro.engine.modelsearch import run_model_search
             from repro.engine.search import SearchConfig
 
@@ -161,7 +194,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 _save(result, db, args.save_results)
             return 0
         ac = AutoClass(instrument=instrument, **config)
-        run = ac.fit(db)
+        run = ac.fit(db, **fit_options)
         print(run.summary())
         print()
         print(ac.report())
@@ -176,10 +209,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n_processors=procs, backend=args.backend, instrument=instrument,
             **config,
         )
-        run = pac.fit(db)
+        run = pac.fit(db, **fit_options)
         print(run.summary())
         print()
         print(pac.report())
+        if run.restarts:
+            print(f"\ncompleted after {run.restarts} checkpointed restart(s)")
         if run.sim_elapsed is not None:
             print(
                 f"\nsimulated elapsed on {run.n_processors}-processor CS-2: "
@@ -233,6 +268,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         ablation_topology,
         ablation_variants,
         baseline_kmeans_comparison,
+        fault_recovery_demo,
         fig6_elapsed,
         fig7_speedup,
         fig8_scaleup,
@@ -272,6 +308,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(baseline_kmeans_comparison().render(), end="\n\n")
     if which in ("obs", "all"):
         print(obs_phase_breakdown(scale).render(), end="\n\n")
+    if which in ("fault", "all"):
+        print(fault_recovery_demo(scale).render(), end="\n\n")
     return 0
 
 

@@ -152,17 +152,23 @@ def converge_try(
     db: Database,
     clf: Classification,
     checker: ConvergenceChecker,
+    on_cycle=None,
 ) -> tuple[Classification, bool]:
     """Run ``base_cycle`` until the checker stops it.
 
     Returns the last classification (scores evaluate its E-step point)
     and whether the stop was a genuine convergence (vs the cycle cap).
+    ``on_cycle(clf, checker)`` — if given — runs after every completed,
+    non-final cycle: the per-cycle checkpoint cut point (the state is
+    self-contained there, so a run resumed from it is bit-identical).
     """
     stopped = False
     while not stopped:
         clf, _wts, _stats = base_cycle(db, clf)
         assert clf.scores is not None
         stopped = checker.update(clf.scores.log_marginal_cs)
+        if not stopped and on_cycle is not None:
+            on_cycle(clf, checker)
     return clf, not checker.hit_cycle_limit
 
 
@@ -187,31 +193,76 @@ def run_search(
     db: Database,
     config: SearchConfig | None = None,
     spec: ModelSpec | None = None,
+    checkpointer=None,
 ) -> SearchResult:
-    """Sequential AutoClass: the full BIG_LOOP over one database."""
+    """Sequential AutoClass: the full BIG_LOOP over one database.
+
+    ``checkpointer`` — a bound :class:`repro.ckpt.Checkpointer` — makes
+    the search durable: state is persisted at try boundaries (and, at
+    ``policy="per_cycle"``, after EM cycles) and restored on entry, so
+    an interrupted search resumed from its checkpoint produces the
+    bit-identical result an uninterrupted run would have.
+    """
     config = config or SearchConfig()
     if spec is None:
         spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
     spec.validate(db)
     stream = SeedSequenceStream(config.seed)
     result = SearchResult(config=config)
+    resume = None
+    if checkpointer is not None:
+        checkpointer.bind(config, spec, db.n_items)
+        state = checkpointer.load(spec)
+        if state is not None:
+            result.tries.extend(state.completed_tries)
+            stream.restore_state(state.rng_streams)
+            resume = state.in_progress
+            logger.info(
+                "resumed from %s: %d completed tries%s",
+                checkpointer.path,
+                len(state.completed_tries),
+                "" if resume is None else
+                f", try {resume.try_index} at cycle "
+                f"{resume.classification.n_cycles}",
+            )
     started = time.perf_counter()
-    for k in range(config.max_n_tries):
+    for k in range(len(result.tries), config.max_n_tries):
         if (
             result.tries
+            and resume is None
             and config.max_seconds is not None
             and time.perf_counter() - started >= config.max_seconds
         ):
             break  # budget spent; at least one try is always completed
-        j = config.select_n_classes(k, stream)
-        logger.info("try %d: J=%d (seed %d)", k, j, config.seed)
         rec = obs.current()
         rec.try_boundary()
-        with rec.phase("init"):
-            clf0 = initial_classification(
-                db, spec, j, stream.child("try", k), method=config.init_method
-            )
-        clf, converged = converge_try(db, clf0, config.checker())
+        checker = config.checker()
+        if resume is not None and resume.try_index == k:
+            # Mid-try resume: J was selected and init consumed before the
+            # checkpoint was cut — do not re-draw either.  The restored
+            # classification is the post-cycle state; re-entering the
+            # cycle loop continues exactly where the run stopped.
+            j = resume.n_classes_requested
+            clf0 = resume.classification
+            checker.history = list(resume.checker_history)
+            resume = None
+            logger.info("try %d: resuming at cycle %d", k, clf0.n_cycles)
+        else:
+            j = config.select_n_classes(k, stream)
+            logger.info("try %d: J=%d (seed %d)", k, j, config.seed)
+            with rec.phase("init"):
+                clf0 = initial_classification(
+                    db, spec, j, stream.child("try", k),
+                    method=config.init_method,
+                )
+        on_cycle = None
+        if checkpointer is not None and checkpointer.policy == "per_cycle":
+            def on_cycle(c, ck, _k=k, _j=j):
+                checkpointer.save_cycle(
+                    result, stream,
+                    try_index=_k, n_classes_requested=_j, clf=c, checker=ck,
+                )
+        clf, converged = converge_try(db, clf0, checker, on_cycle=on_cycle)
         duplicate_of = next(
             (
                 t.try_index
@@ -239,4 +290,6 @@ def run_search(
                 duplicate_of=duplicate_of,
             )
         )
+        if checkpointer is not None:
+            checkpointer.save_boundary(result, stream)
     return result

@@ -21,6 +21,7 @@ from repro.harness.runner import (
     ablation_topology,
     ablation_variants,
     baseline_kmeans_comparison,
+    fault_recovery_demo,
     fig6_elapsed,
     fig7_speedup,
     fig8_scaleup,
@@ -40,6 +41,7 @@ __all__ = [
     "ablation_topology",
     "ablation_variants",
     "baseline_kmeans_comparison",
+    "fault_recovery_demo",
     "fig6_elapsed",
     "fig7_speedup",
     "fig8_scaleup",

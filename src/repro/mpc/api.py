@@ -20,7 +20,7 @@ from __future__ import annotations
 import pickle
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -88,11 +88,27 @@ class CollectiveConfig:
       ``"reduce_bcast"`` (binomial reduce to root then broadcast);
     * ``bcast``: ``"binomial"`` or ``"linear"``;
     * ``barrier``: ``"dissemination"`` or ``"linear"``.
+
+    ``timeout_seconds`` bounds how long any blocking receive may wait
+    without progress before raising
+    :class:`~repro.mpc.errors.CommTimeout` (None = world default: the
+    thread/sim worlds wait forever, the process world keeps its stall
+    safety net).  Collectives are built on receives, so this is the
+    paper-world equivalent of a collective timeout: a hung peer turns
+    into a clean, restartable failure instead of a wedged job.
     """
 
     allreduce: str = "recursive_doubling"
     bcast: str = "binomial"
     barrier: str = "dissemination"
+    timeout_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive or None, got "
+                f"{self.timeout_seconds}"
+            )
 
 
 class Communicator(ABC):

@@ -7,6 +7,17 @@ class MessageError(RuntimeError):
     """Invalid point-to-point usage (bad rank, bad tag, self-send, ...)."""
 
 
+class CommTimeout(MessageError):
+    """A blocking communication exceeded its configured timeout.
+
+    Raised when :class:`~repro.mpc.api.CollectiveConfig.timeout_seconds`
+    is set and a receive (typically inside a collective) makes no
+    progress for that long — the symptom of a hung or wedged peer.  The
+    fit-level restart policy treats it like any other rank failure:
+    abort the attempt and restart from the last checkpoint.
+    """
+
+
 class WorldAborted(RuntimeError):
     """Raised in surviving ranks when another rank of the world failed.
 

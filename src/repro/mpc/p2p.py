@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.mpc.api import ANY_SOURCE, ANY_TAG
-from repro.mpc.errors import WorldAborted
+from repro.mpc.errors import CommTimeout, WorldAborted
 
 #: How often blocked receivers re-check the abort flag (seconds).
 _WAKE_INTERVAL = 0.05
@@ -98,8 +99,17 @@ class Mailbox:
                 best = (key, i)
         return None if best is None else best[1]
 
-    def collect(self, source: int, tag: int) -> Envelope:
-        """Block until a matching envelope arrives; remove and return it."""
+    def collect(
+        self, source: int, tag: int, timeout: float | None = None
+    ) -> Envelope:
+        """Block until a matching envelope arrives; remove and return it.
+
+        With ``timeout`` set, raises
+        :class:`~repro.mpc.errors.CommTimeout` after that many seconds
+        without a match — the hook the configurable collective timeout
+        (``CollectiveConfig.timeout_seconds``) rides on.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
                 self._abort.check()
@@ -107,6 +117,11 @@ class Mailbox:
                 if idx is not None:
                     self._order.pop(idx)
                     return self._messages.pop(idx)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise CommTimeout(
+                        f"rank {self.owner} timed out after {timeout:.3g}s "
+                        f"waiting for (source={source}, tag={tag})"
+                    )
                 self._cond.wait(timeout=_WAKE_INTERVAL)
 
     def try_collect(self, source: int, tag: int) -> Envelope | None:

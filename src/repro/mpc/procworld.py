@@ -25,7 +25,7 @@ from collections.abc import Callable
 from multiprocessing.connection import Connection, wait as conn_wait
 
 from repro.mpc.api import ANY_SOURCE, ANY_TAG, CollectiveConfig, Communicator
-from repro.mpc.errors import MessageError, WorldAborted
+from repro.mpc.errors import CommTimeout, MessageError, WorldAborted
 
 #: Seconds between abort-pipe checks while blocked in recv.
 _POLL_INTERVAL = 0.05
@@ -36,6 +36,10 @@ _STALL_LIMIT = 120.0
 
 class ProcessComm(Communicator):
     """One rank's endpoint over a mesh of pipes."""
+
+    #: Ranks are real OS processes, so an injected "exit" fault can
+    #: hard-kill one without taking the world down (see repro.mpc.faults).
+    hard_exit_supported = True
 
     def __init__(
         self,
@@ -80,6 +84,7 @@ class ProcessComm(Communicator):
         if source == self.rank:
             raise MessageError("process world does not support self-receives")
         stalled = 0.0
+        stall_limit = self.collective_config.timeout_seconds or _STALL_LIMIT
         conn_to_rank = {conn: peer for peer, conn in self._links.items()}
         while True:
             hit = self._try_match(source, tag)
@@ -98,15 +103,24 @@ class ProcessComm(Communicator):
             ready = conn_wait(watch, timeout=_POLL_INTERVAL)
             if not ready:
                 stalled += _POLL_INTERVAL
-                if stalled >= _STALL_LIMIT:
-                    raise MessageError(
+                if stalled >= stall_limit:
+                    raise CommTimeout(
                         f"rank {self.rank} stalled {stalled:.0f}s waiting for "
                         f"(source={source}, tag={tag})"
                     )
                 continue
             stalled = 0.0
             for conn in ready:
-                msg_tag, obj, seq = conn.recv()
+                try:
+                    msg_tag, obj, seq = conn.recv()
+                except (EOFError, OSError):
+                    # Peer's end closed: it died without an abort notice
+                    # (hard kill).  Surface it as a world abort so the
+                    # caller's restart policy can take over.
+                    self._check_abort()
+                    raise WorldAborted(
+                        conn_to_rank[conn], "peer pipe closed (process died)"
+                    ) from None
                 self._stash[conn_to_rank[conn]].append((msg_tag, obj, seq))
 
 
@@ -244,6 +258,29 @@ def run_spmd_processes(
             else:
                 errors[rank] = payload
             pending.discard(rank)
+        # Dead-worker detection: a rank that hard-exited (SIGKILL, node
+        # loss, an injected "exit" fault) sends neither a result nor an
+        # abort notice.  Notice it here, fail it cleanly, and relay an
+        # abort so the surviving ranks unblock with WorldAborted instead
+        # of stalling until their receive timeout.
+        for rank in sorted(pending):
+            p = procs[rank]
+            if p.is_alive() or result_pipes[rank][0].poll(0):
+                continue
+            status[rank] = "error"
+            errors[rank] = (
+                f"rank {rank} process died without a result "
+                f"(exit code {p.exitcode})"
+            )
+            pending.discard(rank)
+            if not relayed_abort:
+                notice = (rank, f"process died (exit code {p.exitcode})")
+                for tx_rank in range(size):
+                    try:
+                        abort_to_child[tx_rank][1].send(notice)
+                    except (BrokenPipeError, OSError):
+                        pass
+                relayed_abort = True
 
     for p in procs:
         p.join(timeout=10)

@@ -52,7 +52,9 @@ class ThreadComm(Communicator):
         )
 
     def _recv_raw(self, source: int, tag: int) -> tuple[object, int, int, int]:
-        env = self._mailboxes[self.rank].collect(source, tag)
+        env = self._mailboxes[self.rank].collect(
+            source, tag, timeout=self.collective_config.timeout_seconds
+        )
         return env.payload, env.source, env.tag, env.nbytes
 
     def _try_recv(self, source: int, tag: int):

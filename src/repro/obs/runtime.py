@@ -53,17 +53,31 @@ def run_recorded(
 
 
 def recorded_pautoclass(
-    comm, db, config, spec, instrument: str = "off", kernels: str | None = None
+    comm,
+    db,
+    config,
+    spec,
+    instrument: str = "off",
+    kernels: str | None = None,
+    ckpt=None,
+    faults=None,
 ):
     """P-AutoClass under a recorder — the SPMD entry for every backend.
 
     Module-level so the ``processes`` world can pickle it by reference.
+    ``ckpt`` is a picklable :class:`repro.ckpt.CheckpointSpec` (or
+    None); ``faults`` a :class:`repro.mpc.faults.FaultInjector` (or
+    None) installed ambiently for this rank — both cross the pickle
+    boundary to forked workers unchanged.
     """
+    from repro.mpc.faults import injecting
     from repro.parallel.driver import run_pautoclass
 
-    return run_recorded(
-        comm, run_pautoclass, db, config, spec, kernels, instrument=instrument
-    )
+    with injecting(faults):
+        return run_recorded(
+            comm, run_pautoclass, db, config, spec, kernels, ckpt,
+            instrument=instrument,
+        )
 
 
 def build_run_record(

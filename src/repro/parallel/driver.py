@@ -19,6 +19,8 @@ rank.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.data.database import Database
 from repro.data.partition import block_partition
 from repro.engine.search import SearchConfig, SearchResult
@@ -28,6 +30,9 @@ from repro.mpc.api import Communicator
 from repro.mpc.reduceops import ReduceOp
 from repro.parallel.psearch import run_parallel_search
 
+if TYPE_CHECKING:
+    from repro.ckpt import CheckpointSpec
+
 
 def run_pautoclass(
     comm: Communicator,
@@ -35,11 +40,15 @@ def run_pautoclass(
     config: SearchConfig | None = None,
     spec: ModelSpec | None = None,
     kernels: str | None = None,
+    ckpt: "CheckpointSpec | None" = None,
 ) -> SearchResult:
     """P-AutoClass over a database replicated on every rank.
 
     ``kernels`` selects the local E/M implementation on every rank
     (``None`` → the process default, normally the fused kernels).
+    ``ckpt`` — a picklable :class:`repro.ckpt.CheckpointSpec` — enables
+    checkpoint/restart; each rank materializes its own
+    :class:`~repro.ckpt.Checkpointer` (rank 0 writes, all restore).
     """
     if spec is None:
         spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
@@ -52,6 +61,7 @@ def run_pautoclass(
         config=config,
         full_db=db,
         kernels=kernels,
+        checkpointer=None if ckpt is None else ckpt.build(comm.rank),
     )
 
 
@@ -61,6 +71,7 @@ def run_pautoclass_partitioned(
     config: SearchConfig | None = None,
     spec: ModelSpec | None = None,
     kernels: str | None = None,
+    ckpt: "CheckpointSpec | None" = None,
 ) -> SearchResult:
     """P-AutoClass where each rank holds only its own block.
 
@@ -85,4 +96,5 @@ def run_pautoclass_partitioned(
         config=config,
         full_db=None,
         kernels=kernels,
+        checkpointer=None if ckpt is None else ckpt.build(comm.rank),
     )

@@ -38,6 +38,7 @@ from repro.engine.search import (
     is_duplicate,
 )
 from repro.models.registry import ModelSpec
+from repro.mpc import faults
 from repro.mpc.api import Communicator
 from repro.mpc.reduceops import ReduceOp
 from repro.obs import recorder as obs
@@ -98,21 +99,32 @@ def parallel_converge_try(
     checker: ConvergenceChecker,
     *,
     kernels: str | None = None,
+    try_index: int = 0,
+    on_cycle=None,
 ) -> tuple[Classification, bool]:
     """Run parallel ``base_cycle`` until the (replicated) checker stops.
 
     All ranks feed the checker the same globally reduced score, so they
-    stop on the same cycle without voting.
+    stop on the same cycle without voting.  ``on_cycle(clf, checker)``
+    runs after every completed, non-final cycle — the per-cycle
+    checkpoint cut point, downstream of both Allreduces where the
+    classification is global.  Injected faults (:mod:`repro.mpc.faults`)
+    fire at the cycle boundary before the cycle's work starts.
     """
     from repro.parallel.pcycle import parallel_base_cycle
 
     stopped = False
     while not stopped:
+        faults.maybe_fire(
+            comm, site="cycle", try_index=try_index, cycle=clf.n_cycles + 1
+        )
         clf, _wts, _stats = parallel_base_cycle(
             local_db, clf, n_total_items, comm, kernels=kernels
         )
         assert clf.scores is not None
         stopped = checker.update(clf.scores.log_marginal_cs)
+        if not stopped and on_cycle is not None:
+            on_cycle(clf, checker)
     return clf, not checker.hit_cycle_limit
 
 
@@ -124,11 +136,21 @@ def run_parallel_search(
     config: SearchConfig | None = None,
     full_db: Database | None = None,
     kernels: str | None = None,
+    checkpointer=None,
 ) -> SearchResult:
     """P-AutoClass's BIG_LOOP: replicated control, partitioned data.
 
     Returns the identical :class:`~repro.engine.search.SearchResult` on
     every rank.
+
+    ``checkpointer`` (a :class:`repro.ckpt.Checkpointer`) follows the
+    **rank-0-writes / all-ranks-restore** protocol: the search state at
+    a cut point is identical on every rank (that is what the two
+    Allreduces guarantee), so rank 0 persists one copy and every rank
+    restores from the same file — after which the replicated control
+    flow proceeds in lockstep exactly as if the run had never stopped.
+    The checkpoint state is *global*, so a search checkpointed on P
+    ranks may resume on a different world size.
     """
     config = config or SearchConfig()
     if config.max_seconds is not None:
@@ -145,25 +167,50 @@ def run_parallel_search(
     spec.validate(local_db)
     stream = SeedSequenceStream(config.seed)
     result = SearchResult(config=config)
+    resume = None
+    if checkpointer is not None:
+        checkpointer.bind(config, spec, n_total_items)
+        state = checkpointer.load(spec)
+        if state is not None:
+            result.tries.extend(state.completed_tries)
+            stream.restore_state(state.rng_streams)
+            resume = state.in_progress
     rec = obs.current()
-    for k in range(config.max_n_tries):
-        j = config.select_n_classes(k, stream)
+    for k in range(len(result.tries), config.max_n_tries):
         rec.try_boundary()
-        with rec.phase("init"):
-            clf0 = parallel_initial_classification(
-                local_db,
-                spec,
-                j,
-                n_total_items,
-                stream.child("try", k),
-                comm,
-                method=config.init_method,
-                full_db=full_db,
-                kernels=kernels,
-            )
+        checker = config.checker()
+        if resume is not None and resume.try_index == k:
+            # Mid-try resume: selection and init were consumed before
+            # the checkpoint; restore their outputs instead of redrawing.
+            j = resume.n_classes_requested
+            clf0 = resume.classification
+            checker.history = list(resume.checker_history)
+            resume = None
+        else:
+            j = config.select_n_classes(k, stream)
+            faults.maybe_fire(comm, site="init", try_index=k)
+            with rec.phase("init"):
+                clf0 = parallel_initial_classification(
+                    local_db,
+                    spec,
+                    j,
+                    n_total_items,
+                    stream.child("try", k),
+                    comm,
+                    method=config.init_method,
+                    full_db=full_db,
+                    kernels=kernels,
+                )
+        on_cycle = None
+        if checkpointer is not None and checkpointer.policy == "per_cycle":
+            def on_cycle(c, ck, _k=k, _j=j):
+                checkpointer.save_cycle(
+                    result, stream,
+                    try_index=_k, n_classes_requested=_j, clf=c, checker=ck,
+                )
         clf, converged = parallel_converge_try(
-            local_db, clf0, n_total_items, comm, config.checker(),
-            kernels=kernels,
+            local_db, clf0, n_total_items, comm, checker,
+            kernels=kernels, try_index=k, on_cycle=on_cycle,
         )
         duplicate_of = next(
             (
@@ -184,4 +231,6 @@ def run_parallel_search(
                 duplicate_of=duplicate_of,
             )
         )
+        if checkpointer is not None:
+            checkpointer.save_boundary(result, stream)
     return result

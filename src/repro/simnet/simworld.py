@@ -192,7 +192,9 @@ class SimComm(ThreadComm):
 
     def _recv_raw(self, source: int, tag: int) -> tuple[object, int, int, int]:
         self._absorb_compute()
-        env = self._mailboxes[self.rank].collect(source, tag)
+        env = self._mailboxes[self.rank].collect(
+            source, tag, timeout=self.collective_config.timeout_seconds
+        )
         arrived = max(self.clock + self.machine.recv_overhead, env.available_at)
         if self.tracer is not None:
             from repro.simnet.trace import TraceEvent

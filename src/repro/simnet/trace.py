@@ -20,7 +20,7 @@ path stays allocation-free when disabled.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.tables import format_table
 

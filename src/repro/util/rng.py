@@ -54,6 +54,33 @@ class SeedSequenceStream:
             self._cache[norm] = spawn_rng(self.seed, *norm)
         return self._cache[norm]
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict[str, dict]:
+        """Serializable bit-generator states of every spawned child.
+
+        Keys are the normalized key paths joined by ``","``; values are
+        numpy ``bit_generator.state`` dicts (plain ints/strings, so they
+        survive a JSON round trip exactly).  Used by :mod:`repro.ckpt`
+        to freeze the search's RNG position at a checkpoint cut point.
+        """
+        return {
+            ",".join(str(part) for part in key): gen.bit_generator.state
+            for key, gen in self._cache.items()
+        }
+
+    def restore_state(self, states: dict[str, dict]) -> None:
+        """Re-seed spawned children to previously captured states.
+
+        Children are first re-derived from ``(seed, key)`` — so a stream
+        restored on a fresh process is bit-identical to the one that was
+        checkpointed, including any partially consumed generators.
+        """
+        for key_text, state in states.items():
+            key = tuple(int(part) for part in key_text.split(","))
+            gen = self.child(*key)
+            gen.bit_generator.state = state
+
 
 def _key_to_int(k: int | str) -> int:
     if isinstance(k, int):

@@ -1,0 +1,74 @@
+"""Fault smoke: hard-kill a rank in the processes world, resume, verify.
+
+This is the test CI's ``fault-smoke`` job runs in isolation: a real
+child *process* is lost mid-search (``os._exit``, no exception, no
+goodbye), the parent's dead-worker detection aborts the world, and the
+fit restarts from its checkpoint to the bit-identical classification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import PAutoClass
+from repro.data.synth import make_paper_database
+from repro.mpc.faults import FaultInjector, FaultSpec
+
+CONFIG = dict(start_j_list=(3,), max_n_tries=1, seed=13, max_cycles=10,
+              init_method="sharp")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_paper_database(200, seed=5)
+
+
+@pytest.fixture(scope="module")
+def clean_score(db):
+    run = PAutoClass(n_processors=2, backend="processes", **CONFIG).fit(db)
+    return run.best.score
+
+
+def test_rank_killed_mid_search_resumes_identically(
+    db, tmp_path, clean_score
+):
+    inj = FaultInjector(
+        FaultSpec(rank=1, action="exit", site="cycle", at_try=0, at_cycle=2)
+    )
+    pac = PAutoClass(
+        n_processors=2, backend="processes", instrument="phases", **CONFIG
+    )
+    run = pac.fit(
+        db,
+        checkpoint="per_cycle",
+        checkpoint_dir=tmp_path,
+        max_restarts=2,
+        faults=inj,
+    )
+    # exactly one restart was needed and it reached the identical result
+    assert run.restarts == 1
+    assert run.best.score == clean_score
+    # the retry is visible in the run's own log...
+    assert len(run.retry_log) == 1
+    attempt, backoff, reason = run.retry_log[0]
+    assert attempt == 1 and backoff > 0
+    assert "died" in reason or "failed" in reason
+    # ...and surfaced through the observability record: a restart
+    # counter plus one "restart" comm event per retry on rank 0
+    assert run.record is not None
+    rank0 = run.record.ranks[0]
+    assert rank0.counters.get("restarts") == 1
+    restart_events = [e for e in rank0.comm_events if e.phase == "restart"]
+    assert len(restart_events) == 1
+    assert restart_events[0].seconds == backoff
+    # checkpoint writes were counted too (per_cycle -> at least one)
+    assert rank0.counters.get("ckpt_saves", 0) >= 1
+
+
+def test_exit_fault_without_checkpoint_fails_cleanly(db, tmp_path):
+    inj = FaultInjector(
+        FaultSpec(rank=1, action="exit", site="cycle", at_try=0, at_cycle=1)
+    )
+    pac = PAutoClass(n_processors=2, backend="processes", **CONFIG)
+    with pytest.raises(RuntimeError, match="died|failed"):
+        pac.fit(db, faults=inj)

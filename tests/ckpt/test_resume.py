@@ -1,0 +1,190 @@
+"""Differential resume: interrupted + restored == never interrupted.
+
+The paper's replicated control flow makes every search decision a
+deterministic function of the seed and the globally reduced scores;
+a checkpoint cut at an Allreduce boundary therefore restarts the run
+*bit-identically*.  These tests interrupt searches on all four SPMD
+worlds and assert exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import AutoClass, PAutoClass
+from repro.data.synth import make_paper_database
+from repro.mpc.faults import FaultInjected, FaultInjector, FaultSpec
+
+CONFIG = dict(start_j_list=(2, 3), max_n_tries=2, seed=7, max_cycles=15,
+              init_method="sharp")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_paper_database(240, seed=31)
+
+
+@pytest.fixture(scope="module")
+def clean_parallel(db):
+    """Reference 2-rank result with no interruption."""
+    return PAutoClass(n_processors=2, backend="threads", **CONFIG).fit(db)
+
+
+def _assert_same_search(a, b):
+    assert len(a.tries) == len(b.tries)
+    for ta, tb in zip(a.tries, b.tries):
+        assert ta.n_classes_requested == tb.n_classes_requested
+        assert ta.n_cycles == tb.n_cycles
+        assert ta.duplicate_of == tb.duplicate_of
+        assert ta.score == tb.score  # bit-identical, not approx
+        np.testing.assert_array_equal(
+            ta.classification.log_pi, tb.classification.log_pi
+        )
+
+
+class TestSequentialResume:
+    def test_interrupt_mid_try_resume_bit_identical(
+        self, db, tmp_path, monkeypatch
+    ):
+        clean = AutoClass(**CONFIG).fit(db).result
+
+        import repro.engine.search as search_mod
+
+        real = search_mod.base_cycle
+        calls = {"n": 0}
+
+        def flaky(db_, clf):
+            calls["n"] += 1
+            if calls["n"] == 5:
+                raise RuntimeError("simulated crash mid-try")
+            return real(db_, clf)
+
+        monkeypatch.setattr(search_mod, "base_cycle", flaky)
+        ac = AutoClass(**CONFIG)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            ac.fit(db, checkpoint="per_cycle", checkpoint_dir=tmp_path)
+        monkeypatch.setattr(search_mod, "base_cycle", real)
+
+        resumed = AutoClass(**CONFIG).fit(
+            db, checkpoint="per_cycle", checkpoint_dir=tmp_path
+        )
+        _assert_same_search(clean, resumed.result)
+
+    def test_sequential_retry_loop_self_heals(
+        self, db, tmp_path, monkeypatch
+    ):
+        clean = AutoClass(**CONFIG).fit(db).result
+
+        import repro.engine.search as search_mod
+
+        real = search_mod.base_cycle
+        calls = {"n": 0}
+
+        def flaky_once(db_, clf):
+            calls["n"] += 1
+            if calls["n"] == 4:
+                raise RuntimeError("transient failure")
+            return real(db_, clf)
+
+        monkeypatch.setattr(search_mod, "base_cycle", flaky_once)
+        run = AutoClass(**CONFIG).fit(
+            db, checkpoint="per_cycle", checkpoint_dir=tmp_path,
+            max_restarts=1,
+        )
+        assert run.restarts == 1
+        assert run.retry_log[0][2] == "transient failure"
+        _assert_same_search(clean, run.result)
+
+    def test_resume_skips_completed_tries(self, db, tmp_path):
+        first = AutoClass(**CONFIG).fit(
+            db, checkpoint="per_try", checkpoint_dir=tmp_path
+        )
+        # a rerun over the finished checkpoint must not redo any try
+        rerun = AutoClass(**CONFIG).fit(
+            db, checkpoint="per_try", checkpoint_dir=tmp_path
+        )
+        _assert_same_search(first.result, rerun.result)
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads", "sim"])
+class TestParallelResume:
+    def test_killed_rank_recovers_bit_identical(
+        self, db, tmp_path, backend, clean_parallel
+    ):
+        procs = 1 if backend == "serial" else 2
+        clean = (
+            clean_parallel
+            if (backend == "threads")
+            else PAutoClass(n_processors=procs, backend=backend,
+                            **CONFIG).fit(db)
+        )
+        inj = FaultInjector(
+            FaultSpec(rank=procs - 1, action="kill", site="cycle",
+                      at_try=1, at_cycle=2)
+        )
+        pac = PAutoClass(n_processors=procs, backend=backend, **CONFIG)
+        run = pac.fit(
+            db, checkpoint="per_cycle", checkpoint_dir=tmp_path,
+            max_restarts=2, faults=inj,
+        )
+        assert run.restarts == 1
+        _assert_same_search(clean.result, run.result)
+
+    def test_without_restarts_the_fault_is_fatal(self, db, tmp_path, backend):
+        procs = 1 if backend == "serial" else 2
+        inj = FaultInjector(
+            FaultSpec(rank=0, action="kill", site="init", at_try=0)
+        )
+        pac = PAutoClass(n_processors=procs, backend=backend, **CONFIG)
+        with pytest.raises((RuntimeError, FaultInjected)):
+            pac.fit(db, checkpoint="per_try", checkpoint_dir=tmp_path,
+                    faults=inj)
+
+
+class TestWorldSizeChange:
+    def test_checkpoint_resumes_on_different_world_size(
+        self, db, tmp_path, clean_parallel
+    ):
+        # interrupt a 2-rank search, resume it on 4 ranks: the state is
+        # global, so the world size is free to change across restarts
+        inj = FaultInjector(
+            FaultSpec(rank=1, action="kill", site="cycle",
+                      at_try=1, at_cycle=3)
+        )
+        two = PAutoClass(n_processors=2, backend="threads", **CONFIG)
+        with pytest.raises(RuntimeError):
+            two.fit(db, checkpoint="per_cycle", checkpoint_dir=tmp_path,
+                    faults=inj)
+        four = PAutoClass(n_processors=4, backend="threads", **CONFIG)
+        resumed = four.fit(
+            db, checkpoint="per_cycle", checkpoint_dir=tmp_path
+        )
+        # across world sizes the Allreduce summation order changes, so
+        # scores agree only to floating-point reassociation (the same
+        # tolerance the repo's sequential/parallel equivalence uses);
+        # the control-flow decisions must still match exactly.
+        a, b = clean_parallel.result, resumed.result
+        assert len(a.tries) == len(b.tries)
+        for ta, tb in zip(a.tries, b.tries):
+            assert ta.n_classes_requested == tb.n_classes_requested
+            assert ta.n_cycles == tb.n_cycles
+            assert ta.duplicate_of == tb.duplicate_of
+            assert ta.score == pytest.approx(tb.score, rel=1e-9)
+
+
+class TestFitValidation:
+    def test_policy_without_directory_rejected(self, db):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            AutoClass(**CONFIG).fit(db, checkpoint="per_try")
+
+    def test_max_restarts_without_checkpoint_rejected(self, db):
+        with pytest.raises(ValueError, match="checkpoint"):
+            PAutoClass(n_processors=2, backend="threads", **CONFIG).fit(
+                db, max_restarts=2
+            )
+
+    def test_directory_alone_enables_per_try(self, db, tmp_path):
+        run = AutoClass(**CONFIG).fit(db, checkpoint_dir=tmp_path)
+        assert (tmp_path / "ckpt.json").exists()
+        assert run.restarts == 0

@@ -1,6 +1,5 @@
 """Tests for repro.engine.rlog (detailed report files)."""
 
-import numpy as np
 import pytest
 
 from repro.data.synth import make_mixed_database

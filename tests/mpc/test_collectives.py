@@ -11,7 +11,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mpc.api import CollectiveConfig
-from repro.mpc.errors import MessageError
 from repro.mpc.reduceops import ReduceOp
 from repro.mpc.threadworld import run_spmd_threads
 

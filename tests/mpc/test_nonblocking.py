@@ -2,11 +2,9 @@
 
 import time
 
-import pytest
 
 from repro.mpc import run_spmd_threads, waitall
 from repro.mpc.api import ANY_SOURCE, CompletedRequest
-from repro.mpc.errors import MessageError
 from repro.mpc.serial import SerialComm
 
 

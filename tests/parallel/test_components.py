@@ -4,10 +4,9 @@ psearch init, and the wts-only variant."""
 import numpy as np
 import pytest
 
-from repro.data.partition import block_partition, partition_bounds
+from repro.data.partition import block_partition
 from repro.data.synth import make_paper_database
 from repro.engine.init import initial_classification, random_weights
-from repro.engine.params import local_update_parameters
 from repro.engine.wts import update_wts
 from repro.models.registry import ModelSpec
 from repro.models.summary import DataSummary

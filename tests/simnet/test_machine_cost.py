@@ -9,7 +9,7 @@ from repro.simnet.machine import (
     MachineSpec,
     meiko_cs2,
 )
-from repro.simnet.topology import Crossbar, Ring
+from repro.simnet.topology import Ring
 
 
 class TestMachineSpec:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.mpc.api import CollectiveConfig
 from repro.simnet.machine import meiko_cs2
 from repro.simnet.simworld import run_spmd_sim
 from repro.simnet.workmodel import WorkModel

@@ -226,6 +226,18 @@ class TestTracing:
             pac = PAutoClass(backend="sim", trace=True)
         assert pac.instrument == "full"
 
+    def test_trace_warns_exactly_once(self):
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            PAutoClass(backend="sim", trace=True)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "instrument='full'" in str(deprecations[0].message)
+
     def test_sim_instrument_full_produces_timeline(self, db):
         pac = PAutoClass(
             n_processors=3, backend="sim", instrument="full",
