@@ -61,6 +61,7 @@ from repro.data import (
 from repro.engine import SearchConfig, SearchResult
 from repro.models import ModelSpec, parse_model_spec
 from repro.util.metrics import adjusted_rand_index, confusion_matrix, purity
+from repro.verify import ConformanceError, ConformanceReport
 
 __version__ = "1.0.0"
 
@@ -71,6 +72,8 @@ __all__ = [
     "CheckpointError",
     "CheckpointSpec",
     "Checkpointer",
+    "ConformanceError",
+    "ConformanceReport",
     "Database",
     "DiscreteAttribute",
     "FaultInjected",

@@ -38,6 +38,7 @@ from repro.data.database import Database
 from repro.engine.classification import Classification
 from repro.engine.report import classification_report, membership
 from repro.engine.search import SearchConfig, SearchResult, run_search
+from repro.kernels import config as kernel_config
 from repro.models.registry import ModelSpec
 from repro.models.summary import DataSummary
 from repro.mpc.api import CollectiveConfig
@@ -104,6 +105,74 @@ def _surface_restarts(run: Run) -> None:
         )
 
 
+#: Valid values of the ``verify=`` fit option.
+VERIFY_LEVELS = ("off", "trace", "strict")
+
+
+def check_verify(verify: str, config: SearchConfig) -> None:
+    """Validate a fit-level ``verify=`` option."""
+    if verify not in VERIFY_LEVELS:
+        raise ValueError(f"verify {verify!r} not in {VERIFY_LEVELS}")
+    if verify != "off" and config.max_seconds is not None:
+        raise ValueError(
+            "verify='trace'/'strict' needs a deterministic search; "
+            "max_seconds makes the try count wall-clock-dependent and "
+            "no shadow run could be expected to conform"
+        )
+
+
+def _verified(
+    run: Run,
+    db: Database,
+    *,
+    config: SearchConfig,
+    spec: ModelSpec | None,
+    kernels: str | None,
+    allreduce: str,
+    verify: str,
+) -> Run:
+    """Run the conformance shadow fit and attach/enforce its report.
+
+    The shadow is always a *sequential* run over the same seeded
+    config.  For a parallel primary it uses the same kernel path —
+    isolating the parallelism axis (the paper's claim).  For a
+    sequential primary it uses the *opposite* kernel path — the only
+    remaining differential axis.  Strict mode raises
+    :class:`repro.verify.ConformanceError` with a first-divergence
+    report; trace mode only attaches ``run.conformance``.
+    """
+    import dataclasses as _dc
+
+    from repro.verify.conformance import ConformanceError, compare_traces
+    from repro.verify.trace import RunTrace, TraceMeta, capture_trace
+
+    resolved = kernel_config.resolve(kernels)
+    primary_meta = TraceMeta(
+        case="", world=run.backend, size=run.n_processors,
+        kernels=resolved, allreduce=allreduce,
+    )
+    primary = RunTrace.from_run(run, db, primary_meta)
+    if run.backend == "sequential":
+        shadow_kernels = "reference" if resolved == "fused" else "fused"
+    else:
+        shadow_kernels = resolved
+    shadow = capture_trace(
+        db,
+        _dc.asdict(config),
+        world="sequential",
+        size=1,
+        kernels=shadow_kernels,
+        allreduce=allreduce,
+        instrument="full" if run.instrument == "full" else "off",
+        spec=spec,
+    )
+    report = compare_traces(shadow, primary)
+    run = dc_replace(run, conformance=report)
+    if verify == "strict" and not report.ok:
+        raise ConformanceError(report)
+    return run
+
+
 class NotFittedError(RuntimeError):
     """Results were requested from a model whose ``fit`` has not run.
 
@@ -139,6 +208,10 @@ class Run:
     restarts: int = 0
     #: One ``(attempt, backoff_seconds, reason)`` per restart.
     retry_log: tuple = ()
+    #: Conformance report of the shadow verification run (``None``
+    #: unless fitted with ``verify="trace"`` or ``"strict"``); a
+    #: :class:`repro.verify.ConformanceReport`.
+    conformance: object | None = None
 
     @property
     def best(self):
@@ -226,7 +299,7 @@ def _serial_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
     comm = SerialComm(model.collectives)
     pair = recorded_pautoclass(
         comm, db, model.config, spec, instrument=model.instrument,
-        ckpt=model._ckpt_spec, faults=model._faults,
+        kernels=model.kernels, ckpt=model._ckpt_spec, faults=model._faults,
     )
     return _assemble_run(model, "serial", [pair])
 
@@ -241,6 +314,7 @@ def _threads_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
         spec,
         collectives=model.collectives,
         instrument=model.instrument,
+        kernels=model.kernels,
         ckpt=model._ckpt_spec,
         faults=model._faults,
     )
@@ -262,6 +336,7 @@ def _processes_backend(
         spec,
         collectives=model.collectives,
         instrument=model.instrument,
+        kernels=model.kernels,
         ckpt=model._ckpt_spec,
         faults=model._faults,
     )
@@ -286,6 +361,7 @@ def _sim_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
         compute_mode="counted",
         tracer=tracer,
         instrument=model.instrument,
+        kernels=model.kernels,
         ckpt=model._ckpt_spec,
         faults=model._faults,
     )
@@ -320,11 +396,15 @@ class AutoClass:
         spec: ModelSpec | None = None,
         *,
         instrument: str = "off",
+        kernels: str | None = None,
         **config,
     ) -> None:
         check_instrument(instrument)
+        if kernels is not None:
+            kernel_config.resolve(kernels)  # validate eagerly
         self.spec = spec
         self.instrument = instrument
+        self.kernels = kernels
         self.config = SearchConfig(**config)
         self.result_: SearchResult | None = None
         self.run_: Run | None = None
@@ -340,6 +420,7 @@ class AutoClass:
         checkpoint_dir: str | Path | None = None,
         resume: bool = True,
         max_restarts: int = 0,
+        verify: str = "off",
     ) -> Run:
         """Run the BIG_LOOP search; returns (and stores) the :class:`Run`.
 
@@ -349,9 +430,16 @@ class AutoClass:
         rerun with ``resume=True`` picks up where the file left off —
         bit-identically.  ``max_restarts`` retries a failed search from
         its checkpoint with exponential backoff.
+
+        ``verify`` runs a shadow fit on the *opposite* kernel path and
+        compares the two searches under the kernel tolerance
+        (:mod:`repro.verify`): ``"trace"`` attaches the report as
+        ``run.conformance``, ``"strict"`` additionally raises
+        :class:`repro.verify.ConformanceError` on any divergence.
         """
         if max_restarts < 0:
             raise ValueError(f"max_restarts must be >= 0: {max_restarts}")
+        check_verify(verify, self.config)
         ckpt_spec = _resolve_checkpoint(checkpoint, checkpoint_dir, resume)
         if max_restarts and ckpt_spec is None:
             raise ValueError("max_restarts needs checkpointing enabled")
@@ -366,14 +454,15 @@ class AutoClass:
                 record = None
                 if self.instrument == "off":
                     result = run_search(
-                        db, self.config, self.spec, checkpointer=checkpointer
+                        db, self.config, self.spec,
+                        checkpointer=checkpointer, kernels=self.kernels,
                     )
                 else:
                     rec = Recorder(level=self.instrument)
                     with recording(rec):
                         result = run_search(
                             db, self.config, self.spec,
-                            checkpointer=checkpointer,
+                            checkpointer=checkpointer, kernels=self.kernels,
                         )
                     record = build_run_record(
                         "sequential", 1, self.instrument,
@@ -402,6 +491,14 @@ class AutoClass:
             retry_log=tuple(retry_log),
         )
         _surface_restarts(run)
+        if verify != "off":
+            # After the retry loop on purpose: a ConformanceError is a
+            # *finding*, not a transient failure to restart through.
+            run = _verified(
+                run, db, config=self.config, spec=self.spec,
+                kernels=self.kernels, allreduce="recursive_doubling",
+                verify=verify,
+            )
         self.result_ = result
         self.run_ = run
         self._db = db
@@ -455,6 +552,7 @@ class PAutoClass:
         spec: ModelSpec | None = None,
         collectives: CollectiveConfig | None = None,
         instrument: str = "off",
+        kernels: str | None = None,
         trace: bool = False,
         **config,
     ) -> None:
@@ -476,11 +574,14 @@ class PAutoClass:
             )
             instrument = "full"
         check_instrument(instrument)
+        if kernels is not None:
+            kernel_config.resolve(kernels)  # validate eagerly
         self.n_processors = n_processors
         self.backend = backend
         self.spec = spec
         self.collectives = collectives
         self.instrument = instrument
+        self.kernels = kernels
         self.config = SearchConfig(**config)
         self.run_: Run | None = None
         self._db: Database | None = None
@@ -498,8 +599,18 @@ class PAutoClass:
         resume: bool = True,
         max_restarts: int = 0,
         faults=None,
+        verify: str = "off",
     ) -> Run:
         """Run the SPMD search on the configured backend.
+
+        ``verify`` runs a *sequential* shadow fit over the same seeded
+        config and kernel path and compares the two searches under the
+        tolerance the run pair resolves to (:mod:`repro.verify`) —
+        bitwise for a 1-rank world, the reduction-order bound
+        otherwise.  ``"trace"`` attaches the report as
+        ``run.conformance``; ``"strict"`` additionally raises
+        :class:`repro.verify.ConformanceError` on any divergence, with
+        a first-divergence report (cycle, term, max abs/rel error).
 
         ``checkpoint``/``checkpoint_dir`` enable the rank-0-writes /
         all-ranks-restore checkpoint protocol (:mod:`repro.ckpt`);
@@ -514,6 +625,7 @@ class PAutoClass:
         """
         if max_restarts < 0:
             raise ValueError(f"max_restarts must be >= 0: {max_restarts}")
+        check_verify(verify, self.config)
         ckpt_spec = _resolve_checkpoint(checkpoint, checkpoint_dir, resume)
         if max_restarts and ckpt_spec is None:
             raise ValueError("max_restarts needs checkpointing enabled")
@@ -550,6 +662,18 @@ class PAutoClass:
                 run, restarts=len(retry_log), retry_log=tuple(retry_log)
             )
             _surface_restarts(run)
+        if verify != "off":
+            # After the retry loop on purpose: a ConformanceError is a
+            # *finding*, not a transient failure to restart through.
+            allreduce = (
+                self.collectives.allreduce
+                if self.collectives is not None
+                else CollectiveConfig().allreduce
+            )
+            run = _verified(
+                run, db, config=self.config, spec=self.spec,
+                kernels=self.kernels, allreduce=allreduce, verify=verify,
+            )
         self.run_ = run
         self._db = db
         return self.run_

@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry a failed run from its checkpoint up to N times "
              "with exponential backoff (default 0)",
     )
+    p_run.add_argument(
+        "--verify", choices=("off", "trace", "strict"), default="off",
+        help="run a sequential shadow fit and compare under the "
+             "conformance tolerance model (see docs/conformance.md); "
+             "'strict' exits non-zero on any divergence",
+    )
 
     p_exp = sub.add_parser("experiments", help="regenerate paper results")
     p_exp.add_argument(
@@ -173,7 +179,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         max_restarts=args.max_restarts,
+        verify=args.verify,
     )
+    if args.verify != "off" and args.model_search:
+        raise SystemExit("--verify does not apply to --model-search")
     if args.checkpoint != "off" and args.checkpoint_dir is None:
         raise SystemExit(f"--checkpoint {args.checkpoint} needs --checkpoint-dir")
     if args.backend == "sequential":
@@ -196,6 +205,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ac = AutoClass(instrument=instrument, **config)
         run = ac.fit(db, **fit_options)
         print(run.summary())
+        if run.conformance is not None:
+            print()
+            print(run.conformance.render())
         print()
         print(ac.report())
         _emit_obs(run, args.obs_out)
@@ -211,6 +223,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         run = pac.fit(db, **fit_options)
         print(run.summary())
+        if run.conformance is not None:
+            print()
+            print(run.conformance.render())
         print()
         print(pac.report())
         if run.restarts:

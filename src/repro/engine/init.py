@@ -65,7 +65,17 @@ def _seeded_weights(
 ) -> np.ndarray:
     real_idx = db.schema.real_indices
     n_items = db.n_items
-    if not real_idx or n_items < n_classes:
+    if n_items < n_classes:
+        # Fewer items than requested seeds: rng.choice(replace=False)
+        # below would raise an opaque numpy error.  Fail with an
+        # actionable message instead — the caller asked for more classes
+        # than this (shard of the) database can seed.
+        raise ValueError(
+            f"seeded init needs at least n_classes={n_classes} items to "
+            f"draw distinct seeds, but the database (shard) has only "
+            f"{n_items}; reduce n_classes or use init_method='sharp'"
+        )
+    if not real_idx:
         return random_weights(n_items, n_classes, rng, method="sharp")
     # Standardized real matrix with missing cells at the column mean
     # (distance-neutral).
@@ -83,14 +93,15 @@ def _seeded_weights(
 
 
 def classification_from_weights(
-    db: Database, spec: ModelSpec, wts: np.ndarray
+    db: Database, spec: ModelSpec, wts: np.ndarray,
+    *, kernels: str | None = None,
 ) -> Classification:
     """M-step on given weights — the sequential initialization finisher."""
     if wts.shape[0] != db.n_items:
         raise ValueError(
             f"weights rows {wts.shape[0]} != database items {db.n_items}"
         )
-    stats = local_update_parameters(db, spec, wts)
+    stats = local_update_parameters(db, spec, wts, kernels=kernels)
     w_j = wts.sum(axis=0)
     log_pi, term_params = finalize_parameters(spec, stats, w_j, db.n_items)
     return Classification(
@@ -107,7 +118,8 @@ def initial_classification(
     n_classes: int,
     rng: np.random.Generator,
     method: str = "dirichlet",
+    kernels: str | None = None,
 ) -> Classification:
     """Random weights + first M-step, in one call."""
     wts = random_weights(db.n_items, n_classes, rng, method=method, db=db)
-    return classification_from_weights(db, spec, wts)
+    return classification_from_weights(db, spec, wts, kernels=kernels)

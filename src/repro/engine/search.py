@@ -153,6 +153,8 @@ def converge_try(
     clf: Classification,
     checker: ConvergenceChecker,
     on_cycle=None,
+    *,
+    kernels: str | None = None,
 ) -> tuple[Classification, bool]:
     """Run ``base_cycle`` until the checker stops it.
 
@@ -164,7 +166,7 @@ def converge_try(
     """
     stopped = False
     while not stopped:
-        clf, _wts, _stats = base_cycle(db, clf)
+        clf, _wts, _stats = base_cycle(db, clf, kernels=kernels)
         assert clf.scores is not None
         stopped = checker.update(clf.scores.log_marginal_cs)
         if not stopped and on_cycle is not None:
@@ -194,6 +196,8 @@ def run_search(
     config: SearchConfig | None = None,
     spec: ModelSpec | None = None,
     checkpointer=None,
+    *,
+    kernels: str | None = None,
 ) -> SearchResult:
     """Sequential AutoClass: the full BIG_LOOP over one database.
 
@@ -253,7 +257,7 @@ def run_search(
             with rec.phase("init"):
                 clf0 = initial_classification(
                     db, spec, j, stream.child("try", k),
-                    method=config.init_method,
+                    method=config.init_method, kernels=kernels,
                 )
         on_cycle = None
         if checkpointer is not None and checkpointer.policy == "per_cycle":
@@ -262,7 +266,9 @@ def run_search(
                     result, stream,
                     try_index=_k, n_classes_requested=_j, clf=c, checker=ck,
                 )
-        clf, converged = converge_try(db, clf0, checker, on_cycle=on_cycle)
+        clf, converged = converge_try(
+            db, clf0, checker, on_cycle=on_cycle, kernels=kernels
+        )
         duplicate_of = next(
             (
                 t.try_index

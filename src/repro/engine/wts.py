@@ -29,7 +29,7 @@ from repro.kernels import config as kernel_config
 from repro.kernels.estep import fused_local_update_wts
 from repro.obs import recorder as obs
 from repro.util import workhooks
-from repro.util.logspace import log_normalize_rows
+from repro.util.logspace import LOG_FLOOR, log_normalize_rows, xlogx
 
 #: Number of extra scalars appended after the J per-class weights.
 N_EXTRA_SLOTS = 2
@@ -86,13 +86,19 @@ def local_update_wts(
     obs.current().count("estep.reference")
     log_joint = compute_log_joint(db, clf)
     wts, log_z = log_normalize_rows(log_joint)
+    # Total-underflow rows come back from log_normalize_rows with a
+    # -inf evidence; floor it so one pathological item cannot drive the
+    # global sum_log_z (and every score derived from it) to -inf.  The
+    # weights for such a row are already uniform — the same convention
+    # the fused kernel applies.
+    bad = ~np.isfinite(log_z)
+    if np.any(bad):
+        log_z = np.where(bad, LOG_FLOOR, log_z)
     payload = np.empty(clf.n_classes + N_EXTRA_SLOTS, dtype=np.float64)
     payload[: clf.n_classes] = wts.sum(axis=0)
     payload[clf.n_classes] = log_z.sum()
     # w log w with the 0 log 0 = 0 convention.
-    with np.errstate(divide="ignore", invalid="ignore"):
-        wlw = np.where(wts > 0.0, wts * np.log(wts), 0.0)
-    payload[clf.n_classes + 1] = wlw.sum()
+    payload[clf.n_classes + 1] = xlogx(wts).sum()
     return wts, payload
 
 

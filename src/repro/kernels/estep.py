@@ -108,13 +108,28 @@ def fused_normalize_and_payload(
     u = np.exp(lj, out=ws.scratch)
     z = u.sum(axis=1, out=ws.row_b)
     dot = np.einsum("ij,ij->i", u, lj, out=ws.row_c)
+    if not all_finite:
+        # Total-underflow rows (every class likelihood 0): patch the row
+        # to an *exact* uniform before normalizing.  Without this, z is
+        # J * exp(LOG_FLOOR) — a subnormal — and the weights / entropy
+        # depend on denormal arithmetic (and FTZ hardware zeroes them
+        # outright).
+        bad = ~finite
+        u[bad] = 1.0
+        z[bad] = float(n_classes)
     np.divide(u, z[:, None], out=lj)  # weights, in the log-joint buffer
     np.sum(lj, axis=0, out=payload[:n_classes])
     np.divide(dot, z, out=dot)
     log_z = np.log(z, out=z)
-    payload[n_classes] = (
-        float(log_z.sum() + amax.sum()) if all_finite else -np.inf
-    )
+    if not all_finite:
+        # The row's log evidence is floored, never -inf: a single
+        # pathological item must not poison the global sum_log_z that
+        # drives convergence and scoring.  Its entropy contribution is
+        # that of the uniform it normalized to, Σ w log w = -log J
+        # (dot - log_z below, with dot patched accordingly).
+        log_z[bad] = LOG_FLOOR
+        dot[bad] = LOG_FLOOR - np.log(n_classes)
+    payload[n_classes] = float(log_z.sum() + amax.sum())
     payload[n_classes + 1] = float(dot.sum() - log_z.sum())
     return lj, payload
 

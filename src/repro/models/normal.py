@@ -25,6 +25,7 @@ from repro.data.database import Database
 from repro.models.base import TermModel, TermParams
 from repro.models.priors import LOG_2PI, BetaPrior, NormalGammaPrior
 from repro.models.summary import DataSummary
+from repro.util.logspace import LOG_FLOOR, xlogy
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,40 @@ def _gauss_log_pdf_into(
     np.subtract(t, (np.log(sigma) + 0.5 * LOG_2PI)[None, :], out=t)
     np.add(out, t, out=out)
     return out
+
+
+def _log_presence(p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(log p, log(1-p))`` with both logs floored at :data:`LOG_FLOOR`.
+
+    MAP estimates under the Beta prior keep ``p`` strictly inside (0, 1),
+    but the term API accepts arbitrary parameter objects (tests, custom
+    inits, serialized params) — and an exact 0/1 would put a ``-inf``
+    coefficient into the fused GEMM where it multiplies a zero indicator
+    column into NaN.  The floor keeps the density a clamp, not a poison.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        log_p = np.maximum(np.log(p), LOG_FLOOR)
+        log_q = np.maximum(np.log1p(-p), LOG_FLOOR)
+    return log_p, log_q
+
+
+def _bernoulli_kl(q: np.ndarray, q_g: float) -> np.ndarray:
+    """``KL(Bern(q) || Bern(q_g))`` elementwise, NaN-free at the corners.
+
+    Uses the ``0·log(·) = 0`` convention via :func:`repro.util.logspace.
+    xlogy`, so ``q`` ∈ {0, 1} (an all-present or all-absent class) and
+    degenerate globals ``q_g`` ∈ {0, 1} yield large-but-finite
+    divergences instead of ``-inf * 0 = NaN``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    one_minus_q = 1.0 - q
+    kl = (
+        xlogy(q, q) - xlogy(q, np.full_like(q, q_g))
+        + xlogy(one_minus_q, one_minus_q)
+        - xlogy(one_minus_q, np.full_like(q, 1.0 - q_g))
+    )
+    return kl
 
 
 def _gauss_coefficients(mu: np.ndarray, sigma: np.ndarray) -> np.ndarray:
@@ -265,9 +300,10 @@ class NormalMissingTerm(TermModel):
         xp = np.where(miss, 0.0, x)
         out = _gauss_log_pdf(xp, params.mu, params.sigma)
         # In-place broadcast add / row write (no tiled temporaries).
-        out += np.log(params.p_present)
+        log_p, log_q = _log_presence(params.p_present)
+        out += log_p
         if miss.any():
-            out[miss] = np.log1p(-params.p_present)
+            out[miss] = log_q
         return out
 
     # -- fused-kernel protocol -------------------------------------------
@@ -299,10 +335,11 @@ class NormalMissingTerm(TermModel):
         # absent cells contribute log (1 - p_present) only.
         coef = np.empty((self._N_STATS, params.mu.shape[0]), dtype=np.float64)
         gauss = _gauss_coefficients(params.mu, params.sigma)
-        coef[0] = gauss[0] + np.log(params.p_present)
+        log_p, log_q = _log_presence(params.p_present)
+        coef[0] = gauss[0] + log_p
         coef[1] = gauss[1]
         coef[2] = gauss[2]
-        coef[3] = np.log1p(-params.p_present)
+        coef[3] = log_q
         return coef
 
     def log_likelihood_into(
@@ -322,17 +359,14 @@ class NormalMissingTerm(TermModel):
         np.divide(t, params.sigma[None, :], out=t)
         np.multiply(t, t, out=t)
         np.multiply(t, -0.5, out=t)
+        log_p, log_q = _log_presence(params.p_present)
         np.subtract(
             t,
-            (
-                np.log(params.sigma)
-                + 0.5 * LOG_2PI
-                - np.log(params.p_present)
-            )[None, :],
+            (np.log(params.sigma) + 0.5 * LOG_2PI - log_p)[None, :],
             out=t,
         )
         if enc["any_missing"]:
-            t[enc["miss"]] = np.log1p(-params.p_present)
+            t[enc["miss"]] = log_q
         np.add(out, t, out=out)
         return out
 
@@ -361,8 +395,6 @@ class NormalMissingTerm(TermModel):
             var_ratio + ((params.mu - mu_g) / sg) ** 2 - 1.0 - np.log(var_ratio)
         )
         q = params.p_present
-        kl_bern = q * (np.log(q) - np.log(q_g)) + (1 - q) * (
-            np.log1p(-q) - np.log1p(-q_g)
-        )
+        kl_bern = _bernoulli_kl(q, q_g)
         # The Gaussian part only matters when the value is present.
         return kl_bern + q * kl_gauss

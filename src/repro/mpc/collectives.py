@@ -14,6 +14,32 @@ Tag discipline: the caller passes a fresh ``tag`` block per collective
 call (see ``Communicator._next_coll_tag``); rounds within one call use
 ``tag + round`` so nothing can cross-match, even between back-to-back
 collectives.
+
+Summation order (matters for float payloads — ``+`` is not associative):
+
+* Every algorithm here is *internally deterministic*: all ranks of one
+  run compute the bitwise-identical result, whatever the message
+  arrival order (fixed lo/hi combine orientation, rank-ordered trees).
+* **Across algorithms** the association differs, so two variants need
+  not agree bitwise:
+
+  - ``reduce_bcast`` and ``recursive_doubling`` both associate along a
+    binomial/butterfly pattern and coincide bitwise at power-of-two
+    sizes (and at many non-power-of-two sizes, where the rank-pair
+    fold happens to reassociate identically).  They are **not**
+    guaranteed to coincide for every non-power-of-two P — e.g. P=5
+    places the surplus-rank fold differently from the binomial tree.
+  - ``allreduce_ring`` reduce-scatters each chunk around the ring, an
+    association that matches the trees only at P<=2.
+
+  The conformance subsystem (:mod:`repro.verify`) does not guess at
+  this table: :func:`repro.verify.tolerance.probe_allreduce_compatible`
+  *measures* whether two variants reassociate identically at a given
+  world size by running both on wide-dynamic-range probe payloads, and
+  the tolerance model switches between bitwise and reduction-order
+  bounds accordingly.  Treating the variants as silently
+  interchangeable is exactly the bug class this machinery exists to
+  catch.
 """
 
 from __future__ import annotations

@@ -83,6 +83,46 @@ def log_normalize_rows(log_p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return weights, log_z
 
 
+def xlogx(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``x * log(x)`` with the entropy convention ``0·log 0 = 0``.
+
+    The naive expression produces ``0 * -inf = NaN`` for zero entries —
+    exactly the failure mode of the ``w log w`` entropy accumulations in
+    the E-step payload.  Negative inputs raise (weights/probabilities
+    must be non-negative).
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if np.any(arr < 0.0):
+        raise ValueError("xlogx: negative input; weights must be >= 0")
+    out = np.zeros(arr.shape, dtype=np.float64)
+    positive = arr > 0.0
+    with np.errstate(under="ignore"):
+        np.multiply(arr, np.log(arr, out=out, where=positive), out=out,
+                    where=positive)
+    return out
+
+
+def xlogy(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Elementwise ``x * log(y)`` with ``x = 0`` forcing the result to 0.
+
+    Mirrors ``scipy.special.xlogy``: wherever ``x == 0`` the product is 0
+    regardless of ``y`` (including ``y == 0``, where ``log`` would be
+    ``-inf``).  Used by the KL/cross-entropy terms where a vanishing
+    weight must annihilate a divergent logarithm instead of producing
+    ``0 * -inf = NaN``.
+    """
+    xa, ya = np.broadcast_arrays(
+        np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)
+    )
+    out = np.zeros(xa.shape, dtype=np.float64)
+    active = xa != 0.0
+    logy = np.full(xa.shape, LOG_FLOOR, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        np.log(ya, out=logy, where=active & (ya > 0.0))
+    np.multiply(xa, logy, out=out, where=active)
+    return out
+
+
 def log_dirichlet_norm(alpha: np.ndarray) -> float:
     """Log normalization constant of a Dirichlet: ``log B(alpha)``."""
     from scipy.special import gammaln

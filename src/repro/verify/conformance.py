@@ -1,0 +1,237 @@
+"""Trace comparison: divergences, reports, and ``ConformanceError``.
+
+:func:`compare_traces` walks two :class:`~repro.verify.trace.RunTrace`
+objects in lockstep under a :class:`~repro.verify.tolerance.Tolerance`
+and produces a :class:`ConformanceReport`.  The comparison is layered
+the way a divergence is debugged:
+
+1. **control flow** — try count, requested J, cycle counts, duplicate
+   decisions.  These are replicated decisions (deterministic functions
+   of the seed and the reduced scores) and must match *exactly* under
+   every tolerance; a control-flow mismatch means the runs took
+   different paths and nothing downstream is comparable.
+2. **per-cycle log-posterior trace** — compared only when both runs
+   carry full instrumentation; the first diverging cycle localizes a
+   numerical bug to the EM iteration where it was born.
+3. **per-try finals** — score, observed log likelihood, ``w_j``,
+   ``log_pi``, packed term parameters.
+4. **class map** — item assignments under the best classification;
+   under a non-bitwise tolerance an argmax flip is forgiven only where
+   the item's membership margin is below
+   :data:`~repro.verify.tolerance.MARGIN_EPS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.verify.tolerance import (
+    BITWISE,
+    MARGIN_EPS,
+    Tolerance,
+    resolve_tolerance,
+)
+from repro.verify.trace import RunTrace
+
+#: Stop collecting after this many divergences (the first is the one
+#: that matters; the count conveys the blast radius).
+MAX_DIVERGENCES = 50
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One compared quantity that fell outside the tolerance."""
+
+    field: str  # e.g. "cycle.log_marginal", "try.w_j", "class_map"
+    where: str  # human location: "try 1, cycle 7" / "try 0, class 2"
+    a: float  # value in the trace under test
+    b: float  # value in the reference trace
+    abs_err: float
+    rel_err: float
+
+    def render(self) -> str:
+        return (
+            f"{self.field} @ {self.where}: {self.a!r} != {self.b!r} "
+            f"(abs={self.abs_err:.3e}, rel={self.rel_err:.3e})"
+        )
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one trace comparison."""
+
+    ref: RunTrace
+    test: RunTrace
+    tolerance: Tolerance
+    divergences: list[Divergence] = field(default_factory=list)
+    n_compared: int = 0  # scalar comparisons performed
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def first_divergence(self) -> Divergence | None:
+        return self.divergences[0] if self.divergences else None
+
+    def render(self) -> str:
+        """First-divergence report (the debugging entry point)."""
+        head = (
+            f"conformance: {self.test.meta.label()} vs "
+            f"{self.ref.meta.label()} under {self.tolerance.label} "
+            f"(rel={self.tolerance.rel:g}, abs={self.tolerance.abs:g})"
+        )
+        if self.ok:
+            return f"{head}\n  OK — {self.n_compared} values conform"
+        lines = [
+            head,
+            f"  {len(self.divergences)} divergence(s) in "
+            f"{self.n_compared} compared values "
+            "(all ranks of each run agree internally; rank 0 shown)",
+            f"  FIRST: {self.divergences[0].render()}",
+        ]
+        for d in self.divergences[1:6]:
+            lines.append(f"         {d.render()}")
+        if len(self.divergences) > 6:
+            lines.append(f"         ... {len(self.divergences) - 6} more")
+        return "\n".join(lines)
+
+
+class ConformanceError(RuntimeError):
+    """A strict-mode verification found divergences.
+
+    Carries the full :class:`ConformanceReport` as ``.report``; the
+    message is the rendered first-divergence report.
+    """
+
+    def __init__(self, report: ConformanceReport) -> None:
+        super().__init__(report.render())
+        self.report = report
+
+
+def _check(
+    rep: ConformanceReport,
+    tol: Tolerance,
+    field_name: str,
+    where: str,
+    a: float,
+    b: float,
+) -> None:
+    rep.n_compared += 1
+    if tol.allows(a, b):
+        return
+    if len(rep.divergences) >= MAX_DIVERGENCES:
+        return
+    abs_err, rel_err = tol.max_err([a], [b])
+    rep.divergences.append(
+        Divergence(
+            field=field_name, where=where, a=float(a), b=float(b),
+            abs_err=abs_err, rel_err=rel_err,
+        )
+    )
+
+
+def _check_exact(
+    rep: ConformanceReport, field_name: str, where: str, a, b
+) -> bool:
+    rep.n_compared += 1
+    if a == b:
+        return True
+    if len(rep.divergences) < MAX_DIVERGENCES:
+        rep.divergences.append(
+            Divergence(
+                field=field_name, where=where,
+                a=float(-1 if a is None else a),
+                b=float(-1 if b is None else b),
+                abs_err=float("nan"), rel_err=float("nan"),
+            )
+        )
+    return False
+
+
+def compare_traces(
+    ref: RunTrace,
+    test: RunTrace,
+    tolerance: Tolerance | None = None,
+) -> ConformanceReport:
+    """Compare ``test`` against the reference ``ref``.
+
+    ``tolerance=None`` resolves the bound from the two traces' metadata
+    (see :func:`repro.verify.tolerance.resolve_tolerance`): bitwise
+    when the operation sequences coincide, reduction-order / kernel
+    bounds where they provably don't.
+    """
+    tol = tolerance if tolerance is not None else resolve_tolerance(
+        test.meta, ref.meta
+    )
+    rep = ConformanceReport(ref=ref, test=test, tolerance=tol)
+
+    # 1. control flow ------------------------------------------------------
+    if not _check_exact(
+        rep, "control.n_tries", "search", len(test.tries), len(ref.tries)
+    ):
+        return rep  # different search shapes: nothing aligns below
+    for ta, tb in zip(test.tries, ref.tries):
+        where = f"try {tb['try_index']}"
+        _check_exact(
+            rep, "control.n_classes_requested", where,
+            ta["n_classes_requested"], tb["n_classes_requested"],
+        )
+        _check_exact(rep, "control.n_cycles", where,
+                     ta["n_cycles"], tb["n_cycles"])
+        _check_exact(rep, "control.duplicate_of", where,
+                     ta["duplicate_of"], tb["duplicate_of"])
+        _check_exact(rep, "control.converged", where,
+                     ta["converged"], tb["converged"])
+    if rep.divergences:
+        return rep
+
+    # 2. per-cycle trace ---------------------------------------------------
+    if test.cycles and ref.cycles:
+        if _check_exact(
+            rep, "cycle.count", "search", len(test.cycles), len(ref.cycles)
+        ):
+            for ca, cb in zip(test.cycles, ref.cycles):
+                where = f"cycle {cb['index']} (J={cb['n_classes']})"
+                _check_exact(rep, "cycle.n_classes", where,
+                             ca["n_classes"], cb["n_classes"])
+                _check(rep, tol, "cycle.log_marginal", where,
+                       ca["log_marginal"], cb["log_marginal"])
+                _check(rep, tol, "cycle.w_j_entropy", where,
+                       ca["w_j_entropy"], cb["w_j_entropy"])
+
+    # 3. per-try finals ----------------------------------------------------
+    for ta, tb in zip(test.tries, ref.tries):
+        where = f"try {tb['try_index']}"
+        _check(rep, tol, "try.score", where, ta["score"], tb["score"])
+        _check(rep, tol, "try.log_lik_obs", where,
+               ta["log_lik_obs"], tb["log_lik_obs"])
+        for name in ("w_j", "log_pi", "params"):
+            va, vb = ta[name], tb[name]
+            if not _check_exact(
+                rep, f"try.{name}.len", where, len(va), len(vb)
+            ):
+                continue
+            for i, (a, b) in enumerate(zip(va, vb)):
+                _check(rep, tol, f"try.{name}", f"{where}, slot {i}", a, b)
+
+    # 4. class map ---------------------------------------------------------
+    if _check_exact(
+        rep, "class_map.len", "best", len(test.class_map), len(ref.class_map)
+    ):
+        for i, (a, b) in enumerate(zip(test.class_map, ref.class_map)):
+            rep.n_compared += 1
+            if a == b:
+                continue
+            margin = min(test.margins[i], ref.margins[i])
+            if tol is not BITWISE and tol.rel > 0.0 and margin < MARGIN_EPS:
+                continue  # ambiguous item; argmax decided by last bits
+            if len(rep.divergences) < MAX_DIVERGENCES:
+                rep.divergences.append(
+                    Divergence(
+                        field="class_map", where=f"item {i}",
+                        a=float(a), b=float(b),
+                        abs_err=float(margin), rel_err=float(margin),
+                    )
+                )
+    return rep

@@ -54,11 +54,11 @@ class TestSequentialResume:
         real = search_mod.base_cycle
         calls = {"n": 0}
 
-        def flaky(db_, clf):
+        def flaky(db_, clf, **kw):
             calls["n"] += 1
             if calls["n"] == 5:
                 raise RuntimeError("simulated crash mid-try")
-            return real(db_, clf)
+            return real(db_, clf, **kw)
 
         monkeypatch.setattr(search_mod, "base_cycle", flaky)
         ac = AutoClass(**CONFIG)
@@ -81,11 +81,11 @@ class TestSequentialResume:
         real = search_mod.base_cycle
         calls = {"n": 0}
 
-        def flaky_once(db_, clf):
+        def flaky_once(db_, clf, **kw):
             calls["n"] += 1
             if calls["n"] == 4:
                 raise RuntimeError("transient failure")
-            return real(db_, clf)
+            return real(db_, clf, **kw)
 
         monkeypatch.setattr(search_mod, "base_cycle", flaky_once)
         run = AutoClass(**CONFIG).fit(

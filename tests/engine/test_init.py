@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.data.attributes import AttributeSet, DiscreteAttribute
+from repro.data.attributes import (
+    AttributeSet,
+    DiscreteAttribute,
+    RealAttribute,
+)
 from repro.data.database import Database
 from repro.engine.init import (
     classification_from_weights,
@@ -48,6 +52,24 @@ class TestRandomWeights:
     def test_seeded_item_count_mismatch(self, paper_db):
         with pytest.raises(ValueError, match="items"):
             random_weights(7, 2, spawn_rng(0), method="seeded", db=paper_db)
+
+    def test_seeded_tiny_shard_fails_cleanly(self):
+        # Regression: a rank's shard can be smaller than n_classes (the
+        # paper's block partition hands the last rank the remainder).
+        # rng.choice(replace=False) used to surface this as an opaque
+        # numpy error; the init must name the actual problem instead.
+        schema = AttributeSet((RealAttribute("x", error=0.1),))
+        db = Database.from_columns(schema, [np.array([0.0, 1.0])])
+        with pytest.raises(ValueError, match="seeded init needs at least"):
+            random_weights(2, 3, spawn_rng(0), method="seeded", db=db)
+
+    def test_seeded_boundary_n_items_equals_n_classes(self):
+        # exactly n_classes items is fine: every item seeds its own class
+        schema = AttributeSet((RealAttribute("x", error=0.1),))
+        db = Database.from_columns(schema, [np.array([0.0, 5.0, 10.0])])
+        wts = random_weights(3, 3, spawn_rng(0), method="seeded", db=db)
+        np.testing.assert_allclose(wts.sum(axis=1), 1.0)
+        assert set(np.unique(wts)) == {0.0, 1.0}
 
     def test_seeded_falls_back_without_reals(self):
         schema = AttributeSet((DiscreteAttribute("c", arity=3),))

@@ -1,0 +1,105 @@
+"""Regression: total-underflow rows must not poison the E-step payload.
+
+An item far outside every class's support drives every per-class log
+joint to ``-inf`` (the exponentials all underflow).  Before the fix the
+fused kernel answered with ``sum_log_z = -inf`` (and the reference path
+propagated ``-inf`` through ``log_z.sum()``), so one pathological item
+sent every score derived from the E-step — convergence deltas, the
+Cheeseman–Stutz approximation, the whole search ranking — to ``-inf``
+or NaN.  The contract now: such a row normalizes to an *exact* uniform,
+its evidence is floored at ``LOG_FLOOR``, and both kernel paths agree
+on the convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.database import Database
+from repro.data.synth import make_paper_database
+from repro.engine.wts import local_update_wts, update_wts
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.util.logspace import LOG_FLOOR
+
+from tests.kernels.test_differential import _random_clf
+
+KERNELS = ("fused", "reference")
+
+# the 1e160 outlier legitimately overflows intermediate squares (x², z²)
+# on its way to the -inf log joint the fix is about — that's the input,
+# not the bug
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A classification trained on *clean* data, plus a corrupted copy
+    of the database where item 3 sits at 1e160 — the "serving an
+    outlier" scenario: the model never saw the extreme value, so its
+    likelihood underflows to zero in every class."""
+    db = make_paper_database(80, seed=21)
+    spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+    _, clf = _random_clf(db, spec, n_classes=3, seed=4)
+    cols = [c.copy() for c in db.columns]
+    cols[0] = cols[0].copy()
+    cols[0][3] = 1e160
+    corrupt = Database.from_columns(db.schema, cols)
+    return corrupt, clf
+
+
+class TestUnderflowRow:
+    @pytest.mark.parametrize("kernels", KERNELS)
+    def test_payload_stays_finite(self, trained, kernels):
+        db, clf = trained
+        wts, payload = local_update_wts(db, clf, kernels=kernels)
+        assert np.all(np.isfinite(payload)), (
+            f"{kernels}: payload contains non-finite entries {payload}"
+        )
+        # sum_log_z carries the floored evidence, never -inf
+        assert payload[clf.n_classes] > -np.inf
+        assert not np.isnan(payload[clf.n_classes + 1])
+
+    @pytest.mark.parametrize("kernels", KERNELS)
+    def test_bad_row_is_exactly_uniform(self, trained, kernels):
+        db, clf = trained
+        wts, _ = local_update_wts(db, clf, kernels=kernels)
+        np.testing.assert_array_equal(
+            wts[3], np.full(clf.n_classes, 1.0 / clf.n_classes)
+        )
+        # every row still sums to 1
+        np.testing.assert_allclose(wts.sum(axis=1), 1.0, rtol=1e-12)
+
+    @pytest.mark.parametrize("kernels", KERNELS)
+    def test_healthy_rows_are_untouched(self, trained, kernels):
+        db, clf = trained
+        wts_corrupt, _ = local_update_wts(db, clf, kernels=kernels)
+        clean_cols = [c.copy() for c in db.columns]
+        clean_cols[0][3] = float(np.median(db.columns[0]))
+        clean = Database.from_columns(db.schema, clean_cols)
+        wts_clean, _ = local_update_wts(clean, clf, kernels=kernels)
+        mask = np.ones(db.n_items, dtype=bool)
+        mask[3] = False
+        np.testing.assert_array_equal(wts_corrupt[mask], wts_clean[mask])
+
+    def test_kernel_paths_agree_on_the_convention(self, trained):
+        db, clf = trained
+        wts_f, pay_f = local_update_wts(db, clf, kernels="fused")
+        wts_r, pay_r = local_update_wts(db, clf, kernels="reference")
+        # the fused weights alias a workspace buffer: copy before the
+        # second call above would be too late, so compare payloads and
+        # the convention row (recomputed) instead
+        np.testing.assert_allclose(pay_f, pay_r, rtol=1e-8, atol=1e-8)
+        wts_f2, _ = local_update_wts(db, clf, kernels="fused")
+        np.testing.assert_array_equal(wts_f2[3], wts_r[3])
+
+    def test_reduction_carries_floor_not_inf(self, trained):
+        db, clf = trained
+        _, red = update_wts(db, clf)
+        assert np.isfinite(red.sum_log_z)
+        assert np.isfinite(red.sum_w_log_w)
+        # the bad row contributes exactly the documented convention:
+        # LOG_FLOOR evidence and uniform entropy -log J
+        assert red.sum_log_z <= LOG_FLOOR  # at least one floored row
+        assert red.sum_w_log_w <= 0.0

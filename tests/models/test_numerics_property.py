@@ -1,0 +1,182 @@
+"""Hypothesis property suites for the model-term numerics.
+
+The E/M hot path must never produce NaN: the hardened helpers
+(``xlogx``/``xlogy``/``_log_presence``/``_bernoulli_kl``) exist so that
+degenerate inputs — presence probabilities at exactly 0 or 1, all-zero
+weight columns, single-item classes, extreme-scale values — yield
+clamped-but-finite (or cleanly ``-inf``) numbers instead of
+``0 * -inf = NaN`` poison.  These properties pin that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.attributes import AttributeSet, RealAttribute
+from repro.data.database import Database
+from repro.engine.params import finalize_parameters, local_update_parameters
+from repro.models.normal import (
+    NormalMissingParams,
+    NormalMissingTerm,
+    _bernoulli_kl,
+    _log_presence,
+)
+from repro.models.registry import ModelSpec
+from repro.models.summary import DataSummary
+from repro.util.logspace import LOG_FLOOR, xlogx, xlogy
+
+probs = st.floats(0.0, 1.0, allow_nan=False)
+weights = hnp.arrays(
+    dtype=np.float64, shape=st.integers(1, 30),
+    elements=st.floats(0.0, 1e6, allow_nan=False),
+)
+
+
+def _missing_db(values):
+    schema = AttributeSet((RealAttribute("x", error=0.01),))
+    return Database.from_columns(schema, [np.asarray(values, dtype=float)])
+
+
+class TestXlogHelpers:
+    @given(w=weights)
+    @settings(max_examples=100, deadline=None)
+    def test_xlogx_is_finite_and_zero_at_zero(self, w):
+        out = xlogx(w)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_array_equal(out[w == 0.0], 0.0)
+
+    @given(w=st.floats(1e-300, 1e300, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_xlogx_matches_naive_on_positive(self, w):
+        assert xlogx(np.array([w]))[0] == w * np.log(w)
+
+    def test_xlogx_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            xlogx(np.array([-0.5]))
+
+    @given(x=probs, y=probs)
+    @settings(max_examples=200, deadline=None)
+    def test_xlogy_never_nan_on_the_unit_square(self, x, y):
+        out = xlogy(np.array([x]), np.array([y]))[0]
+        assert not np.isnan(out)
+        if x == 0.0:
+            assert out == 0.0  # annihilates even log(0)
+        elif y > 0.0:
+            assert out == x * np.log(y)
+        else:
+            assert out == x * LOG_FLOOR  # clamped, not -inf
+
+    def test_xlogy_broadcasts(self):
+        out = xlogy(np.zeros((2, 1)), np.zeros((1, 3)))
+        assert out.shape == (2, 3)
+        np.testing.assert_array_equal(out, 0.0)
+
+
+class TestPresenceNumerics:
+    @given(p=probs)
+    @settings(max_examples=200, deadline=None)
+    def test_log_presence_is_always_finite(self, p):
+        log_p, log_q = _log_presence(np.array([p]))
+        assert np.isfinite(log_p[0]) and np.isfinite(log_q[0])
+        assert log_p[0] >= LOG_FLOOR and log_q[0] >= LOG_FLOOR
+
+    @given(q=probs, q_g=probs)
+    @settings(max_examples=200, deadline=None)
+    def test_bernoulli_kl_finite_and_nonnegative_everywhere(self, q, q_g):
+        kl = _bernoulli_kl(np.array([q]), q_g)[0]
+        assert np.isfinite(kl), f"KL(Bern({q})||Bern({q_g})) = {kl}"
+        # the floor can only *under*-penalize, never push below zero
+        assert kl >= -1e-12
+
+    def test_corner_cases_are_large_but_finite(self):
+        # all-present class vs an all-absent global (and vice versa):
+        # the divergence is huge — and that is the point — but finite
+        for q, q_g in [(1.0, 0.0), (0.0, 1.0), (1.0, 1.0), (0.0, 0.0)]:
+            kl = _bernoulli_kl(np.array([q]), q_g)[0]
+            assert np.isfinite(kl)
+
+
+class TestTermCorners:
+    @given(p=probs)
+    @settings(max_examples=50, deadline=None)
+    def test_missing_term_loglik_never_nan_at_any_presence(self, p):
+        db = _missing_db([1.0, np.nan, 2.0, np.nan])
+        term = NormalMissingTerm(0, db.schema[0], DataSummary.from_database(db))
+        params = NormalMissingParams(
+            n_classes=1, mu=np.array([0.0]), sigma=np.array([1.0]),
+            p_present=np.array([p]),
+        )
+        ll = term.log_likelihood(db, params)
+        assert not np.any(np.isnan(ll))
+        # coefficients feed the fused GEMM: a -inf there multiplies a
+        # zero design column into NaN, so they must be finite outright
+        assert np.all(np.isfinite(term.loglik_coefficients(params)))
+
+    @given(p=probs, p_g=probs)
+    @settings(max_examples=50, deadline=None)
+    def test_missing_term_influence_never_nan(self, p, p_g):
+        db = _missing_db([1.0, np.nan, 2.0])
+        term = NormalMissingTerm(0, db.schema[0], DataSummary.from_database(db))
+        params = NormalMissingParams(
+            n_classes=1, mu=np.array([0.5]), sigma=np.array([1.0]),
+            p_present=np.array([p]),
+        )
+        glob = NormalMissingParams(
+            n_classes=1, mu=np.array([0.0]), sigma=np.array([1.0]),
+            p_present=np.array([p_g]),
+        )
+        infl = term.influence(params, glob)
+        assert np.all(np.isfinite(infl))
+
+    @given(scale=st.sampled_from([1e-150, 1e-30, 1.0, 1e30, 1e150]))
+    @settings(max_examples=5, deadline=None)
+    def test_extreme_scale_data_keeps_mstep_finite(self, scale):
+        rng = np.random.default_rng(0)
+        db = _missing_db(rng.normal(size=40) * scale)
+        spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+        wts = rng.dirichlet(np.ones(3), size=40)
+        stats = local_update_parameters(db, spec, wts)
+        log_pi, term_params = finalize_parameters(
+            spec, stats, wts.sum(axis=0), db.n_items
+        )
+        assert np.all(np.isfinite(log_pi))
+        for tp in term_params:
+            assert np.all(np.isfinite(tp.mu))
+            assert np.all(tp.sigma > 0.0)
+
+    def test_all_zero_weight_class_stays_finite(self):
+        # a class that captured nothing: the M-step must fall back to
+        # the prior instead of dividing by zero
+        rng = np.random.default_rng(1)
+        db = _missing_db(rng.normal(size=25))
+        spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+        wts = np.zeros((25, 3))
+        wts[:, 0] = 1.0  # classes 1 and 2 get exactly zero weight
+        stats = local_update_parameters(db, spec, wts)
+        log_pi, term_params = finalize_parameters(
+            spec, stats, wts.sum(axis=0), db.n_items
+        )
+        assert np.all(np.isfinite(log_pi))
+        for tp in term_params:
+            assert np.all(np.isfinite(tp.mu))
+            assert np.all(np.isfinite(tp.sigma)) and np.all(tp.sigma > 0)
+
+    def test_single_item_class_stays_finite(self):
+        rng = np.random.default_rng(2)
+        db = _missing_db(rng.normal(size=25))
+        spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
+        wts = np.zeros((25, 2))
+        wts[:, 0] = 1.0
+        wts[7] = [0.0, 1.0]  # class 1 holds exactly one item
+        stats = local_update_parameters(db, spec, wts)
+        log_pi, term_params = finalize_parameters(
+            spec, stats, wts.sum(axis=0), db.n_items
+        )
+        assert np.all(np.isfinite(log_pi))
+        for tp in term_params:
+            assert np.all(np.isfinite(tp.mu))
+            assert np.all(tp.sigma > 0.0)

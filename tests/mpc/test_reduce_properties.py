@@ -1,0 +1,156 @@
+"""Hypothesis property suites for reduceops and the allreduce variants.
+
+The conformance subsystem (:mod:`repro.verify`) leans on three
+invariants of the collective layer, checked here as properties rather
+than examples:
+
+* **internal determinism** — every rank of one allreduce gets the same
+  *bits*, whatever the arrival order of the messages;
+* **exact-arithmetic association-freedom** — when the payload values
+  make IEEE addition exact (small integers), every variant at every
+  size must agree bitwise with the numpy sum: reassociation is only
+  ever a *rounding* difference, never a value difference;
+* **order-free ops** — MIN/MAX are associative *and* exact, so they
+  must be bitwise order-independent even on arbitrary floats.
+
+Plus the edge cases the engine actually hits: empty payloads (a rank
+with zero stats slots), single-rank worlds, and scalar payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mpc.api import CollectiveConfig
+from repro.mpc.reduceops import ReduceOp, combine, identity_like
+from repro.mpc.threadworld import run_spmd_threads
+
+ALGOS = ("recursive_doubling", "ring", "reduce_bcast")
+
+finite_payload = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 30),
+    elements=st.floats(-1e100, 1e100, allow_nan=False),
+)
+
+
+def _allreduce_all(algo, size, payloads, op=ReduceOp.SUM):
+    """Run one allreduce over fixed per-rank payloads; return all ranks."""
+
+    def prog(comm):
+        return np.asarray(comm.allreduce(payloads[comm.rank], op))
+
+    return run_spmd_threads(
+        prog, size, collectives=CollectiveConfig(allreduce=algo)
+    )
+
+
+class TestCombineProperties:
+    @given(a=finite_payload)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_is_bitwise_neutral(self, a):
+        for op in (ReduceOp.SUM, ReduceOp.PROD, ReduceOp.MIN, ReduceOp.MAX):
+            out = combine(a, identity_like(a, op), op)
+            np.testing.assert_array_equal(out, a)
+
+    @given(
+        a=st.floats(-1e100, 1e100, allow_nan=False),
+        b=st.floats(-1e100, 1e100, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sum_commutes_bitwise(self, a, b):
+        # IEEE addition is commutative (only association reorders bits),
+        # so the fixed combine orientation is about *association* only
+        assert combine(a, b, ReduceOp.SUM) == combine(b, a, ReduceOp.SUM)
+
+    @given(a=finite_payload)
+    @settings(max_examples=50, deadline=None)
+    def test_min_max_idempotent(self, a):
+        for op in (ReduceOp.MIN, ReduceOp.MAX):
+            np.testing.assert_array_equal(combine(a, a, op), a)
+
+
+class TestAllreduceProperties:
+    @given(
+        size=st.integers(1, 6),
+        n=st.integers(1, 32),
+        algo=st.sampled_from(ALGOS),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_internal_determinism(self, size, n, algo, seed):
+        """All ranks of one reduction agree to the last bit."""
+        rng = np.random.default_rng(seed)
+        scale = 10.0 ** rng.integers(-100, 100, size=(size, n))
+        payloads = rng.normal(size=(size, n)) * scale
+        results = _allreduce_all(algo, size, payloads)
+        for r in results[1:]:
+            np.testing.assert_array_equal(r, results[0])
+
+    @given(
+        size=st.integers(1, 6),
+        n=st.integers(1, 32),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_exact_payloads_are_association_free(self, size, n, seed):
+        """Small-integer payloads add exactly: every variant must agree
+        bitwise with the numpy sum — reassociation only moves rounding,
+        and here there is none to move."""
+        rng = np.random.default_rng(seed)
+        payloads = rng.integers(-1000, 1000, size=(size, n)).astype(
+            np.float64
+        )
+        expected = payloads.sum(axis=0)
+        for algo in ALGOS:
+            for r in _allreduce_all(algo, size, payloads):
+                np.testing.assert_array_equal(r, expected)
+
+    @given(
+        size=st.integers(1, 6),
+        n=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+        op=st.sampled_from([ReduceOp.MIN, ReduceOp.MAX]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_min_max_are_order_independent(self, size, n, seed, op):
+        rng = np.random.default_rng(seed)
+        payloads = rng.normal(size=(size, n)) * 10.0 ** rng.integers(
+            -50, 50, size=(size, n)
+        )
+        expected = (
+            payloads.min(axis=0) if op is ReduceOp.MIN
+            else payloads.max(axis=0)
+        )
+        for algo in ALGOS:
+            for r in _allreduce_all(algo, size, payloads, op):
+                np.testing.assert_array_equal(r, expected)
+
+
+class TestEdgeCases:
+    def test_empty_payload_every_variant_every_size(self):
+        for algo in ALGOS:
+            for size in (1, 2, 3, 5):
+                payloads = np.empty((size, 0))
+                for r in _allreduce_all(algo, size, payloads):
+                    assert r.shape == (0,)
+
+    def test_single_rank_is_the_identity_bitwise(self):
+        rng = np.random.default_rng(99)
+        x = rng.normal(size=40) * 10.0 ** rng.integers(-80, 80, size=40)
+        for algo in ALGOS:
+            (r,) = _allreduce_all(algo, 1, x[None, :])
+            np.testing.assert_array_equal(r, x)
+
+    def test_scalar_payload(self):
+        for algo in ALGOS:
+            def prog(comm):
+                return comm.allreduce(float(comm.rank + 1), ReduceOp.SUM)
+
+            results = run_spmd_threads(
+                prog, 4, collectives=CollectiveConfig(allreduce=algo)
+            )
+            assert results == [10.0] * 4

@@ -1,0 +1,129 @@
+"""compare_traces: divergence detection, layering, and strict errors."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.data.synth import make_paper_database
+from repro.verify.conformance import (
+    ConformanceError,
+    compare_traces,
+)
+from repro.verify.tolerance import BITWISE, REDUCTION_ORDER
+from repro.verify.trace import RunTrace, capture_trace
+
+CONFIG = dict(start_j_list=(2,), max_n_tries=1, seed=11, max_cycles=6,
+              init_method="sharp")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_paper_database(60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def ref(db):
+    return capture_trace(db, CONFIG, world="sequential", kernels="fused",
+                         case="unit")
+
+
+def mutated(ref: RunTrace, fn) -> RunTrace:
+    d = copy.deepcopy(ref.to_dict())
+    fn(d)
+    return RunTrace.from_dict(d)
+
+
+class TestCompare:
+    def test_identical_traces_conform_bitwise(self, ref):
+        rep = compare_traces(ref, ref, BITWISE)
+        assert rep.ok
+        assert rep.n_compared > 0
+        assert "OK" in rep.render()
+
+    def test_score_perturbation_is_caught(self, ref):
+        test = mutated(ref, lambda d: d["tries"][0].update(
+            score=d["tries"][0]["score"] + 1e-12))
+        rep = compare_traces(ref, test, BITWISE)
+        assert not rep.ok
+        assert rep.first_divergence.field == "try.score"
+        # ...but conforms under the reduction-order bound
+        assert compare_traces(ref, test, REDUCTION_ORDER).ok
+
+    def test_cycle_divergence_is_localized(self, ref):
+        assert len(ref.cycles) >= 2
+
+        def bump(d):
+            d["cycles"][1]["log_marginal"] += 1.0
+
+        rep = compare_traces(ref, mutated(ref, bump), BITWISE)
+        assert not rep.ok
+        first = rep.first_divergence
+        assert first.field == "cycle.log_marginal"
+        assert "cycle 1" in first.where
+
+    def test_control_flow_mismatch_short_circuits(self, ref):
+        test = mutated(ref, lambda d: d["tries"][0].update(n_cycles=99))
+        rep = compare_traces(ref, test, BITWISE)
+        assert not rep.ok
+        assert rep.first_divergence.field == "control.n_cycles"
+        # nothing numeric is compared after a control-flow divergence
+        assert all(d.field.startswith("control.") for d in rep.divergences)
+
+    def test_try_count_mismatch_reports_and_stops(self, ref):
+        test = mutated(ref, lambda d: d["tries"].extend([d["tries"][0]]))
+        rep = compare_traces(ref, test, BITWISE)
+        assert rep.first_divergence.field == "control.n_tries"
+        assert len(rep.divergences) == 1
+
+    def test_param_vector_divergence_names_the_slot(self, ref):
+        def bump(d):
+            d["tries"][0]["params"][3] += 0.5
+
+        rep = compare_traces(ref, mutated(ref, bump), BITWISE)
+        assert not rep.ok
+        assert rep.first_divergence.field == "try.params"
+        assert "slot 3" in rep.first_divergence.where
+
+
+class TestClassMap:
+    def test_bitwise_forbids_any_flip(self, ref):
+        def flip(d):
+            d["class_map"][0] = 1 - d["class_map"][0]
+            d["margins"][0] = 0.0  # even a zero-margin item
+
+        rep = compare_traces(ref, mutated(ref, flip), BITWISE)
+        assert not rep.ok
+        assert rep.first_divergence.field == "class_map"
+
+    def test_loose_tolerance_forgives_ambiguous_items_only(self, ref):
+        def flip_ambiguous(d):
+            d["class_map"][0] = 1 - d["class_map"][0]
+            d["margins"][0] = 1e-9  # genuinely ambiguous
+
+        assert compare_traces(
+            ref, mutated(ref, flip_ambiguous), REDUCTION_ORDER
+        ).ok
+
+        def flip_confident(d):
+            d["class_map"][1] = 1 - d["class_map"][1]
+            # margins stay as captured (confident assignment)
+
+        rep = compare_traces(
+            ref, mutated(ref, flip_confident), REDUCTION_ORDER
+        )
+        assert not rep.ok
+        assert rep.first_divergence.field == "class_map"
+
+
+class TestError:
+    def test_conformance_error_carries_the_report(self, ref):
+        test = mutated(ref, lambda d: d["tries"][0].update(
+            score=d["tries"][0]["score"] + 1.0))
+        rep = compare_traces(ref, test, BITWISE)
+        err = ConformanceError(rep)
+        assert err.report is rep
+        assert "FIRST:" in str(err)
+        assert "try.score" in str(err)
+        assert isinstance(err, RuntimeError)

@@ -1,0 +1,108 @@
+"""Golden corpus: committed digests, drift detection, regeneration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify.harness import (
+    CORPUS,
+    GOLDEN_DIR,
+    KERNEL_MODES,
+    corpus_case,
+    golden_path,
+    load_golden,
+    run_case_matrix,
+    sequential_reference,
+    write_golden,
+)
+
+
+class TestCommittedCorpus:
+    def test_every_golden_file_is_committed(self):
+        for case in CORPUS:
+            for kernels in KERNEL_MODES:
+                assert golden_path(case.name, kernels).exists(), (
+                    f"missing golden for {case.name}/{kernels}; run "
+                    "`python -m repro.verify --regen`"
+                )
+
+    @pytest.mark.parametrize("kernels", KERNEL_MODES)
+    def test_fresh_sequential_run_matches_committed_digest(self, kernels):
+        case = corpus_case("paper-tiny")
+        stored_digest, _ = load_golden(case.name, kernels)
+        fresh = sequential_reference(case, kernels)
+        assert fresh.digest() == stored_digest, (
+            "golden digest drift — the E/M hot path moved a bit; if "
+            "intentional, `python -m repro.verify --regen` and commit"
+        )
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError, match="unknown corpus case"):
+            corpus_case("nope")
+
+
+class TestGoldenMechanics:
+    def test_write_then_load_round_trips(self, tmp_path):
+        case = corpus_case("mixed-missing")
+        path = write_golden(case, "fused", golden_dir=tmp_path)
+        assert path.parent == tmp_path
+        digest, trace = load_golden(case.name, "fused", golden_dir=tmp_path)
+        assert trace.digest() == digest
+        # and it matches the committed one bit for bit
+        committed_digest, _ = load_golden(case.name, "fused")
+        assert digest == committed_digest
+
+    def test_missing_golden_raises_with_instructions(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="--regen"):
+            load_golden("paper-tiny", "fused", golden_dir=tmp_path)
+
+    def test_tampered_golden_detected(self, tmp_path):
+        case = corpus_case("mixed-missing")
+        path = write_golden(case, "fused", golden_dir=tmp_path)
+        payload = json.loads(path.read_text())
+        payload["trace"]["tries"][0]["score"] += 1e-9
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="internally inconsistent"):
+            load_golden(case.name, "fused", golden_dir=tmp_path)
+
+
+@pytest.mark.slow
+class TestMatrix:
+    def test_quick_matrix_conforms(self):
+        case = corpus_case("paper-tiny")
+        result = run_case_matrix(case, quick=True, check_golden=True)
+        assert result.ok, result.render()
+        assert result.n_cells > 1
+
+    def test_digest_drift_fails_the_matrix(self, tmp_path):
+        case = corpus_case("mixed-missing")
+        path = write_golden(case, "fused", golden_dir=tmp_path)
+        write_golden(case, "reference", golden_dir=tmp_path)
+        payload = json.loads(path.read_text())
+        payload["trace"]["tries"][0]["score"] += 1e-9
+        # keep the file self-consistent but drifted from reality
+        from repro.verify.trace import RunTrace
+
+        payload["digest"] = RunTrace.from_dict(payload["trace"]).digest()
+        path.write_text(json.dumps(payload))
+        result = run_case_matrix(
+            case, quick=True, check_golden=True, golden_dir=tmp_path
+        )
+        assert not result.ok
+        assert any("digest drift" in msg for msg in result.golden_failures)
+        assert "digest drift" in result.render()
+
+    def test_golden_dir_check_can_be_skipped(self, tmp_path):
+        case = corpus_case("mixed-missing")
+        result = run_case_matrix(
+            case, quick=True, check_golden=False, golden_dir=tmp_path
+        )
+        assert result.ok
+        assert result.golden_failures == []
+
+
+def test_golden_dir_is_inside_the_package():
+    assert GOLDEN_DIR.name == "golden"
+    assert (GOLDEN_DIR.parent / "__init__.py").exists()

@@ -1,0 +1,79 @@
+"""Trace capture, serialization round-trip, and digests."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.data.synth import make_paper_database
+from repro.verify.trace import RunTrace, TraceMeta, capture_trace
+
+CONFIG = dict(start_j_list=(2,), max_n_tries=1, seed=11, max_cycles=6,
+              init_method="sharp")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_paper_database(60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trace(db):
+    return capture_trace(db, CONFIG, world="sequential", kernels="fused",
+                         case="unit")
+
+
+class TestCapture:
+    def test_structure(self, trace, db):
+        assert trace.meta == TraceMeta(
+            case="unit", world="sequential", size=1, kernels="fused",
+            allreduce="recursive_doubling",
+        )
+        assert len(trace.tries) == 1
+        t = trace.tries[0]
+        assert t["n_classes_requested"] == 2
+        assert len(t["w_j"]) == 2
+        assert len(t["log_pi"]) == 2
+        assert t["params"], "packed term parameters must be non-empty"
+        assert len(trace.class_map) == db.n_items
+        assert len(trace.margins) == db.n_items
+        assert all(m >= 0.0 for m in trace.margins)
+
+    def test_full_instrumentation_captures_cycles(self, trace):
+        assert trace.cycles
+        assert trace.cycles[0]["index"] == 0
+        assert all("log_marginal" in c for c in trace.cycles)
+
+    def test_uninstrumented_trace_has_no_cycles(self, db):
+        t = capture_trace(db, CONFIG, world="sequential", kernels="fused",
+                          instrument="off")
+        assert t.cycles == []
+        assert t.tries  # finals are always captured
+
+    def test_capture_is_deterministic(self, db, trace):
+        again = capture_trace(db, CONFIG, world="sequential",
+                              kernels="fused", case="unit")
+        assert again.digest() == trace.digest()
+
+
+class TestSerialization:
+    def test_round_trip_preserves_digest(self, trace):
+        restored = RunTrace.from_dict(trace.to_dict())
+        assert restored.digest() == trace.digest()
+        assert restored.meta == trace.meta
+
+    def test_digest_is_bit_sensitive(self, trace):
+        d = copy.deepcopy(trace.to_dict())
+        d["tries"][0]["score"] += 1e-13
+        assert RunTrace.from_dict(d).digest() != trace.digest()
+
+    def test_version_mismatch_rejected(self, trace):
+        d = trace.to_dict()
+        d["trace_version"] = 999
+        with pytest.raises(ValueError, match="trace schema version"):
+            RunTrace.from_dict(d)
+
+    def test_sequential_world_rejects_multiple_ranks(self, db):
+        with pytest.raises(ValueError, match="exactly 1 processor"):
+            capture_trace(db, CONFIG, world="sequential", size=2)
