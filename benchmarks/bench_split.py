@@ -1,0 +1,136 @@
+"""EXP-SPLIT bench — two-level try parallelism + packed reductions.
+
+Two acceptance bars from the two-level search PR, recorded in
+``benchmarks/out/BENCH_split.json`` (mirrored at the repo root, where
+``benchmarks/check_regression.py`` treats it as the baseline):
+
+1. **Try-parallel elapsed** — a comm-bound 4-try search on the 8-rank
+   virtual CS-2 must run at least 1.5x faster with ``try_groups=4``
+   than with ``try_groups=1``.  The win is pure communication
+   structure: per-rank compute is identical in both arms (each rank
+   processes ``N/8`` items for every cycle of every try either way),
+   but G=4 overlaps four tries and each Allreduce spans 2 ranks
+   (1 recursive-doubling round) instead of 8 (3 rounds).  Virtual
+   elapsed is deterministic, so both arms are regression-gated.
+
+2. **Packed reduction** — the per-try :class:`repro.parallel.packed.
+   ReductionPlan` must be allocation-free at steady state (asserted via
+   the communicator pool's allocation counter after the two-call parity
+   warmup) and is timed against the per-leaf pytree Allreduce it
+   replaces.
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import PAutoClass
+from repro.data.synth import make_paper_database
+from repro.mpc.reduceops import ReduceOp
+from repro.mpc.threadworld import run_spmd_threads
+from repro.parallel.packed import ReductionPlan
+
+# Try-parallel arm: small N keeps the search comm-bound on the virtual
+# machine, which is exactly the regime where shrinking the Allreduce
+# span pays (the paper's Figure 6 small-size rows).
+N_ITEMS = 240
+N_PROCS = 8
+START_J_LIST = (2, 3, 4, 5)
+N_TRIES = 4
+MAX_CYCLES = 6
+SPEEDUP_BAR = 1.5
+
+# Packed-reduction microbench shape: J=8 classes, 16 stats per class,
+# reduced as one (8, 16) buffer vs 16 per-leaf vectors.
+MB_CLASSES = 8
+MB_STATS = 16
+MB_REPS = 200
+MB_PROCS = 4
+
+
+def _sim_elapsed(try_groups) -> float:
+    db = make_paper_database(N_ITEMS, seed=0)
+    run = PAutoClass(
+        n_processors=N_PROCS,
+        backend="sim",
+        try_groups=try_groups,
+        start_j_list=START_J_LIST,
+        max_n_tries=N_TRIES,
+        seed=0,
+        max_cycles=MAX_CYCLES,
+    ).fit(db)
+    assert run.sim_elapsed is not None
+    return run.sim_elapsed
+
+
+def _microbench_rank(comm):
+    """Packed vs per-leaf reduction timing on one thread-world rank."""
+    rng = np.random.default_rng(100 + comm.rank)
+    stats = rng.standard_normal((MB_CLASSES, MB_STATS))
+    leaves = [stats[:, i].copy() for i in range(MB_STATS)]
+
+    plan = ReductionPlan(comm, MB_CLASSES, MB_STATS)
+    plan.allreduce_stats(stats)  # parity-0 warmup (allocates)
+    plan.allreduce_stats(stats)  # parity-1 warmup (allocates)
+    allocs_before = comm.buffer_pool().n_allocations
+    t0 = time.perf_counter()
+    for _ in range(MB_REPS):
+        plan.allreduce_stats(stats)
+    packed_s = time.perf_counter() - t0
+    allocs_after = comm.buffer_pool().n_allocations
+
+    t0 = time.perf_counter()
+    for _ in range(MB_REPS):
+        comm.allreduce(leaves, ReduceOp.SUM)
+    pytree_s = time.perf_counter() - t0
+    return packed_s, pytree_s, allocs_after - allocs_before
+
+
+def test_split_bench_json():
+    elapsed_g1 = _sim_elapsed(1)
+    elapsed_g4 = _sim_elapsed(4)
+    speedup = elapsed_g1 / elapsed_g4
+
+    per_rank = run_spmd_threads(_microbench_rank, MB_PROCS)
+    packed_s = max(r[0] for r in per_rank)
+    pytree_s = max(r[1] for r in per_rank)
+    new_allocations = max(r[2] for r in per_rank)
+
+    report = {
+        "benchmark": "EXP-SPLIT try-parallel search + packed reductions",
+        "platform": platform.platform(),
+        "try_parallel": {
+            "workload": (
+                f"make_paper_database N={N_ITEMS}, J={list(START_J_LIST)}, "
+                f"{N_TRIES} tries, max_cycles={MAX_CYCLES}, "
+                f"{N_PROCS}-rank virtual CS-2 (counted compute)"
+            ),
+            "elapsed_g1_s": elapsed_g1,
+            "elapsed_g4_s": elapsed_g4,
+            "speedup": speedup,
+            "bar": SPEEDUP_BAR,
+        },
+        "packed_reduction": {
+            "workload": (
+                f"({MB_CLASSES}, {MB_STATS}) float64 Allreduce x {MB_REPS}, "
+                f"{MB_PROCS}-rank threads world, slowest rank"
+            ),
+            "packed_s": packed_s,
+            "pytree_s": pytree_s,
+            "ratio": pytree_s / packed_s if packed_s > 0 else float("inf"),
+            "steady_state_allocations": new_allocations,
+        },
+    }
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    payload = json.dumps(report, indent=2) + "\n"
+    (out_dir / "BENCH_split.json").write_text(payload, encoding="utf-8")
+    (Path(__file__).parent.parent / "BENCH_split.json").write_text(
+        payload, encoding="utf-8"
+    )
+    print(payload)
+    assert speedup >= SPEEDUP_BAR, report
+    assert new_allocations == 0, report

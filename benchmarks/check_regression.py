@@ -37,6 +37,11 @@ TIMING_METRICS: dict[str, tuple[str, ...]] = {
     ),
     "BENCH_obs.json": ("off_s", "phases_s"),
     "BENCH_ckpt.json": ("off_s", "per_try_s"),
+    # Virtual elapsed is deterministic, so both arms gate tightly.
+    "BENCH_split.json": (
+        "try_parallel.elapsed_g1_s",
+        "try_parallel.elapsed_g4_s",
+    ),
 }
 
 

@@ -300,6 +300,7 @@ def _serial_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
     pair = recorded_pautoclass(
         comm, db, model.config, spec, instrument=model.instrument,
         kernels=model.kernels, ckpt=model._ckpt_spec, faults=model._faults,
+        try_groups=model.try_groups,
     )
     return _assemble_run(model, "serial", [pair])
 
@@ -317,6 +318,7 @@ def _threads_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
         kernels=model.kernels,
         ckpt=model._ckpt_spec,
         faults=model._faults,
+        try_groups=model.try_groups,
     )
     return _assemble_run(model, "threads", pairs)
 
@@ -339,6 +341,7 @@ def _processes_backend(
         kernels=model.kernels,
         ckpt=model._ckpt_spec,
         faults=model._faults,
+        try_groups=model.try_groups,
     )
     return _assemble_run(model, "processes", pairs)
 
@@ -364,6 +367,7 @@ def _sim_backend(model: PAutoClass, db: Database, spec: ModelSpec) -> Run:
         kernels=model.kernels,
         ckpt=model._ckpt_spec,
         faults=model._faults,
+        try_groups=model.try_groups,
     )
     timeline = None
     if tracer is not None:
@@ -543,6 +547,11 @@ class PAutoClass:
         run = pac.fit(db)
         print(run.sim_elapsed, "simulated seconds on", run.n_processors, "procs")
         print(run.report())   # per-rank wts/params/Allreduce breakdown
+
+    ``try_groups`` (None | ``"auto"`` | int) turns on the two-level
+    search: the world is split into that many sub-communicator groups
+    and BIG_LOOP tries run concurrently across groups, each try
+    data-parallel within its group (see :mod:`repro.parallel.psearch`).
     """
 
     def __init__(
@@ -554,6 +563,7 @@ class PAutoClass:
         instrument: str = "off",
         kernels: str | None = None,
         trace: bool = False,
+        try_groups: int | str | None = None,
         **config,
     ) -> None:
         if backend not in BACKENDS:
@@ -562,6 +572,17 @@ class PAutoClass:
             )
         if n_processors < 1:
             raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+        if try_groups is not None and try_groups != "auto":
+            if not isinstance(try_groups, int) or isinstance(try_groups, bool):
+                raise ValueError(
+                    "try_groups must be None, 'auto', or an int, "
+                    f"got {try_groups!r}"
+                )
+            if not 1 <= try_groups <= n_processors:
+                raise ValueError(
+                    f"try_groups={try_groups} must be in [1, n_processors="
+                    f"{n_processors}]"
+                )
         if trace:
             if backend != "sim":
                 raise ValueError("trace=True needs the 'sim' backend")
@@ -582,6 +603,7 @@ class PAutoClass:
         self.collectives = collectives
         self.instrument = instrument
         self.kernels = kernels
+        self.try_groups = try_groups
         self.config = SearchConfig(**config)
         self.run_: Run | None = None
         self._db: Database | None = None

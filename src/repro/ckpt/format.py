@@ -55,6 +55,9 @@ CKPT_FORMAT_VERSION = 1
 #: The ``kind`` marker distinguishing checkpoints from results files.
 CKPT_KIND = "pautoclass-checkpoint"
 
+#: The ``kind`` marker of per-try checkpoint files (group-parallel search).
+TRY_CKPT_KIND = "pautoclass-try-checkpoint"
+
 
 class CheckpointError(RuntimeError):
     """An unreadable, corrupt, truncated, or mismatched checkpoint."""
@@ -187,6 +190,46 @@ class CheckpointState:
         return len(self.completed_tries)
 
 
+def _try_to_dict(t: TryResult) -> dict:
+    return {
+        "try_index": t.try_index,
+        "n_classes_requested": t.n_classes_requested,
+        "converged": t.converged,
+        "n_cycles": t.n_cycles,
+        "duplicate_of": t.duplicate_of,
+        "classification": _clf_to_dict(t.classification),
+    }
+
+
+def _try_from_dict(entry: dict, spec: ModelSpec) -> TryResult:
+    return TryResult(
+        try_index=entry["try_index"],
+        n_classes_requested=entry["n_classes_requested"],
+        classification=_clf_from_dict(entry["classification"], spec),
+        converged=entry["converged"],
+        n_cycles=entry["n_cycles"],
+        duplicate_of=entry["duplicate_of"],
+    )
+
+
+def _in_progress_to_dict(ip: InProgressTry) -> dict:
+    return {
+        "try_index": ip.try_index,
+        "n_classes_requested": ip.n_classes_requested,
+        "classification": _clf_to_dict(ip.classification),
+        "checker_history": list(ip.checker_history),
+    }
+
+
+def _in_progress_from_dict(entry: dict, spec: ModelSpec) -> InProgressTry:
+    return InProgressTry(
+        try_index=entry["try_index"],
+        n_classes_requested=entry["n_classes_requested"],
+        classification=_clf_from_dict(entry["classification"], spec),
+        checker_history=[float(x) for x in entry["checker_history"]],
+    )
+
+
 def encode_checkpoint(
     key: str,
     result: SearchResult,
@@ -198,27 +241,12 @@ def encode_checkpoint(
         "format_version": CKPT_FORMAT_VERSION,
         "kind": CKPT_KIND,
         "key": key,
-        "completed_tries": [
-            {
-                "try_index": t.try_index,
-                "n_classes_requested": t.n_classes_requested,
-                "converged": t.converged,
-                "n_cycles": t.n_cycles,
-                "duplicate_of": t.duplicate_of,
-                "classification": _clf_to_dict(t.classification),
-            }
-            for t in result.tries
-        ],
+        "completed_tries": [_try_to_dict(t) for t in result.tries],
         "in_progress": None,
         "rng_streams": rng_streams,
     }
     if in_progress is not None:
-        payload["in_progress"] = {
-            "try_index": in_progress.try_index,
-            "n_classes_requested": in_progress.n_classes_requested,
-            "classification": _clf_to_dict(in_progress.classification),
-            "checker_history": list(in_progress.checker_history),
-        }
+        payload["in_progress"] = _in_progress_to_dict(in_progress)
     return payload
 
 
@@ -246,29 +274,13 @@ def decode_checkpoint(
                 "checkpoint belongs to a different search (config, model "
                 "spec, or dataset changed since it was written)"
             )
-        completed = []
-        for entry in payload["completed_tries"]:
-            completed.append(
-                TryResult(
-                    try_index=entry["try_index"],
-                    n_classes_requested=entry["n_classes_requested"],
-                    classification=_clf_from_dict(
-                        entry["classification"], spec
-                    ),
-                    converged=entry["converged"],
-                    n_cycles=entry["n_cycles"],
-                    duplicate_of=entry["duplicate_of"],
-                )
-            )
+        completed = [
+            _try_from_dict(entry, spec)
+            for entry in payload["completed_tries"]
+        ]
         in_progress = None
         if payload.get("in_progress") is not None:
-            ip = payload["in_progress"]
-            in_progress = InProgressTry(
-                try_index=ip["try_index"],
-                n_classes_requested=ip["n_classes_requested"],
-                classification=_clf_from_dict(ip["classification"], spec),
-                checker_history=[float(x) for x in ip["checker_history"]],
-            )
+            in_progress = _in_progress_from_dict(payload["in_progress"], spec)
         return CheckpointState(
             key=key,
             completed_tries=completed,
@@ -279,6 +291,73 @@ def decode_checkpoint(
         raise
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise CheckpointError(f"malformed checkpoint: {exc!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# per-try checkpoint files (group-parallel search)
+
+def encode_try_checkpoint(
+    key: str,
+    try_result: TryResult | None = None,
+    in_progress: InProgressTry | None = None,
+) -> dict:
+    """One try's checkpoint payload — completed result or mid-try state.
+
+    The group-parallel search checkpoints each try in its *own* file,
+    written by the owning group's leader: groups complete tries in
+    independent orders, so a single monotone ``completed_tries`` list
+    has no well-defined writer.  The key is the same search digest as
+    the monolithic format — it covers neither world size nor group
+    count, which is precisely what lets a search resumed with a
+    different ``try_groups`` pick these files up (tries are reassigned
+    to groups, completed ones are skipped wherever they land).
+    """
+    if (try_result is None) == (in_progress is None):
+        raise ValueError(
+            "exactly one of try_result / in_progress must be given"
+        )
+    return {
+        "format_version": CKPT_FORMAT_VERSION,
+        "kind": TRY_CKPT_KIND,
+        "key": key,
+        "try": None if try_result is None else _try_to_dict(try_result),
+        "in_progress": (
+            None if in_progress is None else _in_progress_to_dict(in_progress)
+        ),
+    }
+
+
+def decode_try_checkpoint(
+    payload: dict, key: str, spec: ModelSpec
+) -> tuple[TryResult | None, InProgressTry | None]:
+    """Validate and decode a per-try checkpoint payload."""
+    try:
+        if payload.get("kind") != TRY_CKPT_KIND:
+            raise CheckpointError(
+                f"not a per-try checkpoint file (kind={payload.get('kind')!r})"
+            )
+        version = payload.get("format_version")
+        if version != CKPT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format version {version!r} not supported "
+                f"(expected {CKPT_FORMAT_VERSION})"
+            )
+        if payload.get("key") != key:
+            raise CheckpointError(
+                "try checkpoint belongs to a different search (config, "
+                "model spec, or dataset changed since it was written)"
+            )
+        try_result = None
+        if payload.get("try") is not None:
+            try_result = _try_from_dict(payload["try"], spec)
+        in_progress = None
+        if payload.get("in_progress") is not None:
+            in_progress = _in_progress_from_dict(payload["in_progress"], spec)
+        return try_result, in_progress
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise CheckpointError(f"malformed try checkpoint: {exc!r}") from exc
 
 
 # ---------------------------------------------------------------------------

@@ -31,7 +31,9 @@ from repro.ckpt.format import (
     atomic_write_json,
     checkpoint_key,
     decode_checkpoint,
+    decode_try_checkpoint,
     encode_checkpoint,
+    encode_try_checkpoint,
     read_checkpoint_file,
 )
 from repro.engine.search import SearchConfig, SearchResult
@@ -205,6 +207,77 @@ class Checkpointer:
                 checker_history=list(checker.history),
             ),
         )
+
+    # -- per-try files (group-parallel search) -----------------------------
+    #
+    # A try-parallel search (``try_groups > 1``) has no single writer for
+    # a monotone completed-tries list — groups finish tries in
+    # independent orders.  Instead, *each group's leader* persists its
+    # own tries, one file per try.  These methods are deliberately not
+    # gated on ``is_writer`` (a world-rank-0 notion): the caller gates on
+    # the group-leader rank of its sub-communicator.
+
+    def try_path(self, try_index: int) -> Path:
+        """Path of try ``try_index``'s own checkpoint file."""
+        return self.directory / f"try_{try_index:04d}.json"
+
+    def save_try(self, try_result) -> None:
+        """Persist one completed try (called by its group's leader)."""
+        payload = encode_try_checkpoint(
+            self._require_key(), try_result=try_result
+        )
+        atomic_write_json(payload, self.try_path(try_result.try_index))
+        self.n_saves += 1
+        obs.current().count("ckpt_saves")
+
+    def save_try_cycle(
+        self, *, try_index: int, n_classes_requested: int, clf, checker
+    ) -> None:
+        """Per-cycle cut point of a group-owned try (leader only).
+
+        Same policy gate as :meth:`save_cycle`; the in-progress state
+        overwrites the try's file and is replaced by the completed
+        result when the try converges.
+        """
+        if not self.want_cycle_save(clf.n_cycles):
+            return
+        payload = encode_try_checkpoint(
+            self._require_key(),
+            in_progress=InProgressTry(
+                try_index=try_index,
+                n_classes_requested=n_classes_requested,
+                classification=clf,
+                checker_history=list(checker.history),
+            ),
+        )
+        atomic_write_json(payload, self.try_path(try_index))
+        self.n_saves += 1
+        obs.current().count("ckpt_saves")
+
+    def load_tries(
+        self, spec: ModelSpec
+    ) -> tuple[dict, dict]:
+        """Read every per-try checkpoint file in the directory.
+
+        Returns ``(completed, in_progress)`` — both keyed by try index.
+        The search key is validated per file; a file from a different
+        search raises.  Because the key excludes world size *and* group
+        count, a resume may use any ``try_groups``: completed tries are
+        skipped by whichever group they are reassigned to.
+        """
+        completed: dict[int, object] = {}
+        partial: dict[int, InProgressTry] = {}
+        if not self.resume or not self.directory.exists():
+            return completed, partial
+        key = self._require_key()
+        for path in sorted(self.directory.glob("try_*.json")):
+            payload = read_checkpoint_file(path)
+            try_result, in_progress = decode_try_checkpoint(payload, key, spec)
+            if try_result is not None:
+                completed[try_result.try_index] = try_result
+            elif in_progress is not None:
+                partial[in_progress.try_index] = in_progress
+        return completed, partial
 
     # -- policy ------------------------------------------------------------
 

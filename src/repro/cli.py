@@ -39,6 +39,17 @@ def _parse_j_list(text: str) -> tuple[int, ...]:
     return values
 
 
+def _parse_try_groups(text: str) -> int | str:
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --try-groups value: {text!r} (want an int or 'auto')"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pautoclass",
@@ -66,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--procs", type=int, default=4,
                        help="processors for parallel backends (default 4)")
+    p_run.add_argument(
+        "--try-groups", type=_parse_try_groups, default=None,
+        metavar="G|auto",
+        help="run BIG_LOOP tries concurrently across G sub-communicator "
+             "groups ('auto' picks min(procs, tries); parallel backends "
+             "only; see docs/parallel_search.md)",
+    )
     p_run.add_argument(
         "--model-search", action="store_true",
         help="also search over model forms (independent vs correlated "
@@ -126,7 +144,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--which",
         choices=(
             "fig6", "fig7", "fig8", "t1", "t2",
-            "a1", "a2", "a3", "a4", "a5", "b1", "obs", "fault", "all",
+            "a1", "a2", "a3", "a4", "a5", "b1", "obs", "fault", "split",
+            "all",
         ),
         default="all",
     )
@@ -186,6 +205,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.checkpoint != "off" and args.checkpoint_dir is None:
         raise SystemExit(f"--checkpoint {args.checkpoint} needs --checkpoint-dir")
     if args.backend == "sequential":
+        if args.try_groups is not None:
+            raise SystemExit("--try-groups needs a parallel --backend")
         if args.model_search:
             if args.checkpoint_dir or args.checkpoint != "off":
                 raise SystemExit(
@@ -219,6 +240,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         procs = 1 if args.backend == "serial" else args.procs
         pac = PAutoClass(
             n_processors=procs, backend=args.backend, instrument=instrument,
+            try_groups=args.try_groups,
             **config,
         )
         run = pac.fit(db, **fit_options)
@@ -285,6 +307,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         baseline_kmeans_comparison,
         fault_recovery_demo,
         fig6_elapsed,
+        split_group_scaling,
         fig7_speedup,
         fig8_scaleup,
         obs_phase_breakdown,
@@ -325,6 +348,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(obs_phase_breakdown(scale).render(), end="\n\n")
     if which in ("fault", "all"):
         print(fault_recovery_demo(scale).render(), end="\n\n")
+    if which in ("split", "all"):
+        print(split_group_scaling(scale).render(), end="\n\n")
     return 0
 
 

@@ -21,6 +21,7 @@ the control flow on all ranks without communicating decisions.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import time
 from dataclasses import dataclass, field
@@ -191,6 +192,53 @@ def is_duplicate(
     )
 
 
+def duplicate_of_index(
+    candidate: Classification, stored: list[TryResult], eps: float
+) -> int | None:
+    """Index of the first kept try ``candidate`` duplicates, or None.
+
+    Only non-duplicate stored tries are compared — AutoClass records a
+    duplicate against the *original*, never against another duplicate.
+    """
+    return next(
+        (
+            t.try_index
+            for t in stored
+            if t.duplicate_of is None
+            and is_duplicate(candidate, t.classification, eps)
+        ),
+        None,
+    )
+
+
+def assign_duplicates(tries: list[TryResult], eps: float) -> list[TryResult]:
+    """Recompute duplicate links for a full set of tries, order-independently.
+
+    The incremental rule of the BIG_LOOP (each try compared against the
+    previously *kept* ones) is only well-defined for a fixed visit
+    order.  This assigns the links by the canonical order — ascending
+    ``try_index``, exactly what a sequential search visits — so the
+    result is a pure function of the set, whatever order the tries were
+    completed or supplied in.  Used wherever tries arrive out of order:
+    merging the groups of a try-parallel search, or resuming from
+    per-try checkpoint files.
+
+    Returns new :class:`TryResult` objects sorted by ``try_index``, with
+    ``duplicate_of`` rewritten.
+    """
+    out: list[TryResult] = []
+    kept: list[TryResult] = []
+    for t in sorted(tries, key=lambda t: t.try_index):
+        dup = duplicate_of_index(t.classification, kept, eps)
+        fixed = t if t.duplicate_of == dup else dataclasses.replace(
+            t, duplicate_of=dup
+        )
+        out.append(fixed)
+        if dup is None:
+            kept.append(fixed)
+    return out
+
+
 def run_search(
     db: Database,
     config: SearchConfig | None = None,
@@ -269,14 +317,8 @@ def run_search(
         clf, converged = converge_try(
             db, clf0, checker, on_cycle=on_cycle, kernels=kernels
         )
-        duplicate_of = next(
-            (
-                t.try_index
-                for t in result.tries
-                if t.duplicate_of is None
-                and is_duplicate(clf, t.classification, config.duplicate_eps)
-            ),
-            None,
+        duplicate_of = duplicate_of_index(
+            clf, result.tries, config.duplicate_eps
         )
         logger.info(
             "try %d done: %d cycles, logP(X|T)~=%.2f%s%s",

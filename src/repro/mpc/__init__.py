@@ -28,20 +28,24 @@ from repro.mpc.api import (
     Request,
     waitall,
 )
+from repro.mpc.buffers import BufferPool
 from repro.mpc.errors import MessageError, WorldAborted
 from repro.mpc.procworld import run_spmd_processes
 from repro.mpc.serial import SerialComm
+from repro.mpc.split import SubComm
 from repro.mpc.threadworld import run_spmd_threads
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "BufferPool",
     "CollectiveConfig",
     "Communicator",
     "MessageError",
     "ReduceOp",
     "Request",
     "SerialComm",
+    "SubComm",
     "WorldAborted",
     "run_spmd_processes",
     "run_spmd_threads",

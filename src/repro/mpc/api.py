@@ -17,6 +17,7 @@ bytes-on-wire per cycle (EXP-A3).
 
 from __future__ import annotations
 
+import contextlib
 import pickle
 import time
 from abc import ABC, abstractmethod
@@ -130,6 +131,8 @@ class Communicator(ABC):
         self._size = size
         self._collectives = collectives or CollectiveConfig()
         self._coll_seq = 0
+        self._split_seq = 0
+        self._buffer_pool = None
         self.stats = CommStats()
 
     # -- identity ---------------------------------------------------------
@@ -236,20 +239,53 @@ class Communicator(ABC):
         self.stats.n_collectives += 1
         return COLLECTIVE_TAG_BASE + (self._coll_seq << 8)
 
+    def _collective_scope(self):
+        """Context wrapping one collective's message exchange.
+
+        Real-time worlds need nothing here; the virtual-time
+        :class:`repro.simnet.SimComm` overrides it to absorb pending
+        compute before the exchange and reset its compute mark after,
+        instead of overriding every collective.  Sub-communicators
+        delegate to their parent so nested collectives stay balanced.
+        """
+        return contextlib.nullcontext()
+
+    def _reduce_rounds(self) -> int:
+        """Combining rounds a reduction performs on this world's size."""
+        if self._size <= 1:
+            return 0
+        return max((self._size - 1).bit_length(), 1)
+
+    def _charge_reduction(self, payload) -> None:
+        """Post the arithmetic cost of one (all)reduce of ``payload``."""
+        rounds = self._reduce_rounds()
+        if rounds:
+            self._charge_reduction_rounds(rounds, payload)
+
+    def _charge_reduction_rounds(self, rounds: int, payload) -> None:
+        """Price ``rounds`` pairwise combines of ``payload``.
+
+        A no-op on real-time worlds; virtual-time worlds override it.
+        """
+
     def barrier(self) -> None:
         """Block until every rank has entered the barrier."""
         from repro.mpc import collectives
 
-        collectives.run_barrier(self, self._next_coll_tag(), self._collectives.barrier)
+        tag = self._next_coll_tag()
+        with self._collective_scope():
+            collectives.run_barrier(self, tag, self._collectives.barrier)
 
     def bcast(self, obj: object, root: int = 0) -> object:
         """Broadcast ``obj`` from ``root``; every rank returns the value."""
         from repro.mpc import collectives
 
         self._check_peer(root)
-        return collectives.run_bcast(
-            self, obj, root, self._next_coll_tag(), self._collectives.bcast
-        )
+        tag = self._next_coll_tag()
+        with self._collective_scope():
+            return collectives.run_bcast(
+                self, obj, root, tag, self._collectives.bcast
+            )
 
     def reduce(
         self, payload, op: ReduceOp = ReduceOp.SUM, root: int = 0
@@ -258,9 +294,11 @@ class Communicator(ABC):
         from repro.mpc import collectives
 
         self._check_peer(root)
-        return collectives.reduce_binomial(
-            self, payload, op, root, self._next_coll_tag()
-        )
+        tag = self._next_coll_tag()
+        with self._collective_scope():
+            result = collectives.reduce_binomial(self, payload, op, root, tag)
+        self._charge_reduction(payload)
+        return result
 
     def allreduce(self, payload, op: ReduceOp = ReduceOp.SUM):
         """Reduce across all ranks; every rank returns the full result.
@@ -269,29 +307,93 @@ class Communicator(ABC):
         """
         from repro.mpc import collectives
 
-        return collectives.run_allreduce(
-            self, payload, op, self._next_coll_tag(), self._collectives.allreduce
-        )
+        tag = self._next_coll_tag()
+        with self._collective_scope():
+            result = collectives.run_allreduce(
+                self, payload, op, tag, self._collectives.allreduce
+            )
+        self._charge_reduction(payload)
+        return result
+
+    def allreduce_into(self, buf: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        """In-place Allreduce over a preallocated float64 array.
+
+        ``buf`` holds this rank's contribution on entry and the global
+        reduction on return (same value as :meth:`allreduce`, bitwise,
+        because the message schedule and combine orientation are
+        identical).  Under the default ``recursive_doubling`` algorithm
+        the exchange runs entirely out of this communicator's
+        :class:`~repro.mpc.buffers.BufferPool` — zero array allocations
+        in steady state, which is what makes the per-cycle reduction
+        path of :mod:`repro.parallel` allocation-free.  Other algorithms
+        fall back to :meth:`allreduce` plus a copy (correct, but
+        allocating).
+        """
+        from repro.mpc import buffers
+
+        tag = self._next_coll_tag()
+        with self._collective_scope():
+            buffers.allreduce_into_impl(self, buf, op, tag)
+        self._charge_reduction(buf)
+        return buf
+
+    def buffer_pool(self):
+        """This communicator's lazily created reduction buffer pool.
+
+        Pools are strictly per-communicator — concurrent groups created
+        by :meth:`split` each own their buffers, so in-place collectives
+        on sibling sub-communicators can never alias.
+        """
+        if self._buffer_pool is None:
+            from repro.mpc.buffers import BufferPool
+
+            self._buffer_pool = BufferPool()
+        return self._buffer_pool
 
     def gather(self, obj: object, root: int = 0) -> list | None:
         """Gather one value per rank to ``root`` (rank-ordered list)."""
         from repro.mpc import collectives
 
         self._check_peer(root)
-        return collectives.gather_linear(self, obj, root, self._next_coll_tag())
+        tag = self._next_coll_tag()
+        with self._collective_scope():
+            return collectives.gather_linear(self, obj, root, tag)
 
     def allgather(self, obj: object) -> list:
         """Gather one value per rank onto every rank."""
         from repro.mpc import collectives
 
-        return collectives.allgather_bruck(self, obj, self._next_coll_tag())
+        tag = self._next_coll_tag()
+        with self._collective_scope():
+            return collectives.allgather_bruck(self, obj, tag)
 
     def scatter(self, objs: list | None, root: int = 0) -> object:
         """Scatter one value per rank from ``root``."""
         from repro.mpc import collectives
 
         self._check_peer(root)
-        return collectives.scatter_linear(self, objs, root, self._next_coll_tag())
+        tag = self._next_coll_tag()
+        with self._collective_scope():
+            return collectives.scatter_linear(self, objs, root, tag)
+
+    # -- sub-communicators -------------------------------------------------
+
+    def split(self, color: int | None, key: int | None = None):
+        """Partition the world into disjoint sub-communicators (MPI_Comm_split).
+
+        Collective over the *whole* communicator: every rank must call
+        it, in the same program order.  Ranks passing the same ``color``
+        form one group, ordered by ``(key, rank)`` (``key=None`` means
+        order by current rank); ranks passing ``color=None`` opt out and
+        get ``None`` back.  The returned
+        :class:`~repro.mpc.split.SubComm` relays point-to-point traffic
+        through the parent with tags mapped into a per-group context, so
+        concurrent collectives on sibling groups can never cross — see
+        :mod:`repro.mpc.split` for the isolation argument.
+        """
+        from repro.mpc.split import comm_split
+
+        return comm_split(self, color, key)
 
     # -- validation --------------------------------------------------------
 

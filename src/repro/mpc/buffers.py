@@ -1,0 +1,173 @@
+"""Pooled, allocation-free in-place Allreduce.
+
+P-AutoClass performs two Allreduce calls per EM cycle, every cycle of
+every try.  The generic :func:`~repro.mpc.collectives.allreduce_recursive_doubling`
+allocates a fresh array per combining round (``combine`` must not mutate
+its inputs because thread worlds pass payloads by reference).  This
+module provides the same reduction — same message schedule, same tags,
+same combine orientation, hence *bitwise identical* results — running
+entirely out of a per-communicator :class:`BufferPool`, so the steady
+state makes zero array allocations.
+
+Why the reuse is race-free on zero-copy (thread/sim) worlds
+-----------------------------------------------------------
+A buffer handed to ``send`` may still be referenced by the receiver
+after our call returns (mailboxes deliver references, receivers copy on
+collection).  The pool therefore recycles each payload-size's send
+buffers with a **two-call parity**: the slot set used by call ``c`` is
+not written again until call ``c + 2`` *of that slot set*.  Between
+those uses, call ``c + 1`` runs a full allreduce on the same
+communicator, which includes a blocking receive from every peer the
+buffers were sent to (the partner schedule of recursive doubling is a
+pure function of rank and size, hence identical across calls).  A peer
+sending its call-``c+1`` message has necessarily finished call ``c`` —
+including copying whatever we sent it — so every reference to the
+call-``c`` buffers is dead before call ``c+2`` touches them.  Receive
+scratch buffers are never sent, so a single set suffices.
+
+The pool counts allocations (`n_allocations`); benchmarks assert the
+counter stops growing after the first cycle — the "allocation-free per
+cycle" acceptance gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpc.errors import MessageError
+from repro.mpc.reduceops import _PAIRWISE, ReduceOp
+
+
+class BufferPool:
+    """Per-communicator pool of float64 reduction buffers.
+
+    Keyed by payload element count; each entry owns two parities of
+    send-chain buffers plus shared receive scratch.  Attached lazily to
+    a communicator via :meth:`repro.mpc.api.Communicator.buffer_pool` —
+    never shared between communicators, so sibling sub-communicator
+    groups cannot alias each other's buffers.
+    """
+
+    def __init__(self, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self._sets: dict[int, list] = {}  # n_elems -> [send0, send1, recv, uses]
+        self.n_allocations = 0  # arrays ever allocated (steady state: constant)
+        self.n_acquires = 0
+
+    def acquire(
+        self, n_elems: int, n_send: int, n_recv: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Buffers for one in-place collective: ``(send_chain, recv_scratch)``.
+
+        Returns the parity set due for this use (see module docstring
+        for why two-call parity makes reuse safe), growing the pool only
+        on first use of a payload size.
+        """
+        entry = self._sets.get(n_elems)
+        if entry is None:
+            entry = [[], [], [], 0]
+            self._sets[n_elems] = entry
+        parity = entry[3] & 1
+        entry[3] += 1
+        self.n_acquires += 1
+        chain, recv = entry[parity], entry[2]
+        while len(chain) < n_send:
+            chain.append(self._alloc(n_elems))
+        while len(recv) < n_recv:
+            recv.append(self._alloc(n_elems))
+        return chain, recv
+
+    def _alloc(self, n_elems: int) -> np.ndarray:
+        self.n_allocations += 1
+        return np.empty(n_elems, dtype=self.dtype)
+
+
+def allreduce_into_impl(comm, buf: np.ndarray, op: ReduceOp, tag: int) -> None:
+    """In-place Allreduce: ``buf`` = global reduction of every rank's ``buf``.
+
+    Mirrors :func:`repro.mpc.collectives.allreduce_recursive_doubling`
+    message-for-message (fold of non-power-of-two ranks, XOR-partner
+    doubling on the power-of-two core, surplus return on ``tag + 63``,
+    combine orientation by core rank) so the result is bitwise identical
+    to the generic path for every elementwise operator.  When the
+    communicator is configured with a different allreduce algorithm the
+    call falls back to that algorithm on a copy — still correct, still
+    the same association as ``comm.allreduce``, just not allocation-free.
+    """
+    if not isinstance(buf, np.ndarray) or buf.dtype != np.float64:
+        raise MessageError("allreduce_into requires a float64 ndarray")
+    if not buf.flags.c_contiguous:
+        raise MessageError("allreduce_into requires a C-contiguous buffer")
+    if comm.size == 1:
+        return
+    algo = comm.collective_config.allreduce
+    if algo != "recursive_doubling":
+        from repro.mpc import collectives
+
+        out = collectives.run_allreduce(comm, buf.copy(), op, tag, algo)
+        np.copyto(buf.reshape(-1), np.asarray(out).reshape(-1))
+        return
+
+    ufunc = _PAIRWISE[op]
+    size, rank = comm.size, comm.rank
+    flat = buf.reshape(-1)
+    n = flat.size
+    pow2 = 1 << (size.bit_length() - 1)
+    rounds = pow2.bit_length() - 1
+    chain, scratch = comm.buffer_pool().acquire(n, rounds + 2, rounds + 1)
+    ci = si = 0
+
+    # The running partial lives in pool buffers, never in the caller's
+    # array — `flat` is only read at the start and written at the end,
+    # so no peer ever holds a reference into it.
+    acc = chain[ci]
+    ci += 1
+    np.copyto(acc, flat)
+
+    rem = size - pow2
+    if rem == 0:
+        in_core, core_rank = True, rank
+    elif rank < 2 * rem:
+        if rank % 2:
+            comm.send(acc, rank - 1, tag)
+            in_core, core_rank = False, -1
+        else:
+            other = comm.recv(rank + 1, tag)
+            inc = scratch[si]
+            si += 1
+            np.copyto(inc, np.asarray(other).reshape(-1))
+            out = chain[ci]
+            ci += 1
+            ufunc(acc, inc, out=out)  # lower world rank on the left
+            acc = out
+            in_core, core_rank = True, rank // 2
+    else:
+        in_core, core_rank = True, rank - rem
+
+    def core_to_world(cr: int) -> int:
+        return 2 * cr if cr < rem else cr + rem
+
+    if in_core:
+        k = 0
+        while (1 << k) < pow2:
+            partner = core_rank ^ (1 << k)
+            pw = core_to_world(partner)
+            comm.send(acc, pw, tag + 1 + k)
+            other = comm.recv(pw, tag + 1 + k)
+            inc = scratch[si]
+            si += 1
+            np.copyto(inc, np.asarray(other).reshape(-1))
+            out = chain[ci]
+            ci += 1
+            if core_rank < partner:
+                ufunc(acc, inc, out=out)
+            else:
+                ufunc(inc, acc, out=out)
+            acc = out
+            k += 1
+        if rem and core_rank < rem:
+            comm.send(acc, 2 * core_rank + 1, tag + 63)
+        np.copyto(flat, acc)
+    else:
+        other = comm.recv(rank - 1, tag + 63)
+        np.copyto(flat, np.asarray(other).reshape(-1))

@@ -173,11 +173,25 @@ def speedup_efficiency(
     return out
 
 
+def record_try_groups(record: RunRecord) -> int:
+    """Number of try-parallel groups a run used (1 when single-level).
+
+    The grouped search records a ``try_groups`` counter on every rank;
+    runs predating it (or single-level runs) default to 1.
+    """
+    return max(
+        (r.counters.get("try_groups", 1) for r in record.ranks), default=1
+    )
+
+
 def speedup_table(records: list[RunRecord]) -> str:
     """Speedup/efficiency table from instrumented runs at several P.
 
     All records must come from the same backend (and therefore the same
-    clock); elapsed is the slowest rank's total per run.
+    clock); elapsed is the slowest rank's total per run.  Runs are keyed
+    by ``(procs, try_groups)``, so the same processor count may appear
+    once per group configuration — the paper Table 4 shape with a group
+    dimension added.  The reference row is the smallest ``(P, G)``.
     """
     if not records:
         raise ValueError("no records given")
@@ -187,17 +201,26 @@ def speedup_table(records: list[RunRecord]) -> str:
     clocks = {r.clock for r in records}
     if len(clocks) > 1:
         raise ValueError(f"records mix clocks: {sorted(clocks)}")
-    elapsed = {r.n_processors: r.elapsed for r in records}
+    elapsed = {
+        (r.n_processors, record_try_groups(r)): r.elapsed for r in records
+    }
     if len(elapsed) != len(records):
-        raise ValueError("duplicate processor counts among records")
-    table = speedup_efficiency(elapsed)
+        raise ValueError(
+            "duplicate (processor count, try_groups) configurations "
+            "among records"
+        )
+    p_ref, _ = ref = min(elapsed)
+    t_ref = elapsed[ref]
     unit = _clock_unit(records[0])
-    rows = [
-        (p, f"{elapsed[p]:.4f}", f"{sp:.2f}", f"{eff:.2f}")
-        for p, (sp, eff) in table.items()
-    ]
+    rows = []
+    for p, g in sorted(elapsed):
+        tp = elapsed[(p, g)]
+        speedup = (t_ref * p_ref / tp) if tp > 0 else float("inf")
+        rows.append(
+            (p, g, f"{tp:.4f}", f"{speedup:.2f}", f"{speedup / p:.2f}")
+        )
     return format_table(
-        ["procs", f"elapsed ({unit})", "speedup", "efficiency"],
+        ["procs", "groups", f"elapsed ({unit})", "speedup", "efficiency"],
         rows,
         title=(
             f"Speedup/efficiency — backend={records[0].backend} "

@@ -61,6 +61,7 @@ def recorded_pautoclass(
     kernels: str | None = None,
     ckpt=None,
     faults=None,
+    try_groups=None,
 ):
     """P-AutoClass under a recorder — the SPMD entry for every backend.
 
@@ -68,7 +69,8 @@ def recorded_pautoclass(
     ``ckpt`` is a picklable :class:`repro.ckpt.CheckpointSpec` (or
     None); ``faults`` a :class:`repro.mpc.faults.FaultInjector` (or
     None) installed ambiently for this rank — both cross the pickle
-    boundary to forked workers unchanged.
+    boundary to forked workers unchanged.  ``try_groups`` (None | int |
+    ``"auto"``) selects the two-level try-parallel search.
     """
     from repro.mpc.faults import injecting
     from repro.parallel.driver import run_pautoclass
@@ -76,6 +78,7 @@ def recorded_pautoclass(
     with injecting(faults):
         return run_recorded(
             comm, run_pautoclass, db, config, spec, kernels, ckpt,
+            try_groups,
             instrument=instrument,
         )
 

@@ -24,17 +24,25 @@ from repro.parallel.driver import (
     run_pautoclass,
     run_pautoclass_partitioned,
 )
+from repro.parallel.packed import ReductionPlan
 from repro.parallel.pcycle import ParallelCycleStats, parallel_base_cycle
 from repro.parallel.pparams import parallel_update_parameters
-from repro.parallel.psearch import run_parallel_search
+from repro.parallel.psearch import (
+    resolve_try_groups,
+    run_grouped_search,
+    run_parallel_search,
+)
 from repro.parallel.pwts import parallel_update_wts
 from repro.parallel.variants import wts_only_base_cycle
 
 __all__ = [
     "ParallelCycleStats",
+    "ReductionPlan",
     "parallel_base_cycle",
     "parallel_update_parameters",
     "parallel_update_wts",
+    "resolve_try_groups",
+    "run_grouped_search",
     "run_parallel_search",
     "run_pautoclass",
     "run_pautoclass_partitioned",

@@ -41,6 +41,7 @@ def run_pautoclass(
     spec: ModelSpec | None = None,
     kernels: str | None = None,
     ckpt: "CheckpointSpec | None" = None,
+    try_groups: int | str | None = None,
 ) -> SearchResult:
     """P-AutoClass over a database replicated on every rank.
 
@@ -49,6 +50,9 @@ def run_pautoclass(
     ``ckpt`` — a picklable :class:`repro.ckpt.CheckpointSpec` — enables
     checkpoint/restart; each rank materializes its own
     :class:`~repro.ckpt.Checkpointer` (rank 0 writes, all restore).
+    ``try_groups`` (``None`` | int | ``"auto"``) enables the two-level
+    search: tries run concurrently across that many sub-communicator
+    groups — see :func:`repro.parallel.psearch.run_grouped_search`.
     """
     if spec is None:
         spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
@@ -62,6 +66,7 @@ def run_pautoclass(
         full_db=db,
         kernels=kernels,
         checkpointer=None if ckpt is None else ckpt.build(comm.rank),
+        try_groups=try_groups,
     )
 
 

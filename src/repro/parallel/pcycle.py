@@ -47,6 +47,7 @@ def parallel_base_cycle(
     comm: Communicator,
     *,
     kernels: str | None = None,
+    plan=None,
 ) -> tuple[Classification, np.ndarray, ParallelCycleStats]:
     """One P-AutoClass EM cycle over this rank's block.
 
@@ -54,15 +55,19 @@ def parallel_base_cycle(
     classification — parameters *and* scores — is identical on every
     rank (same reduced inputs, same pure finalization).  ``kernels``
     selects the local E/M implementation; the two Allreduce cut points
-    are unaffected.
+    are unaffected.  ``plan`` — a
+    :class:`repro.parallel.packed.ReductionPlan` for this try — makes
+    both reductions run in place through preallocated buffers.
     """
     bytes0 = comm.stats.bytes_sent
     t0 = comm.wtime()
-    wts, reduction = parallel_update_wts(local_db, clf, comm, kernels=kernels)
+    wts, reduction = parallel_update_wts(
+        local_db, clf, comm, kernels=kernels, plan=plan
+    )
     t1 = comm.wtime()
     new_clf, global_stats = parallel_update_parameters(
         local_db, clf, wts, reduction.w_j, n_total_items, comm,
-        kernels=kernels,
+        kernels=kernels, plan=plan,
     )
     t2 = comm.wtime()
     rec = obs.current()

@@ -40,9 +40,17 @@ def reduce_stats(
     spec,
     local_stats: np.ndarray,
     granularity: str = "packed",
+    plan=None,
 ) -> np.ndarray:
-    """Globally sum the packed statistics at the chosen granularity."""
+    """Globally sum the packed statistics at the chosen granularity.
+
+    ``plan`` — a :class:`repro.parallel.packed.ReductionPlan` — applies
+    only to the ``"packed"`` granularity and reduces into the try's
+    preallocated buffer (bitwise-identical, allocation-free).
+    """
     if granularity == "packed":
+        if plan is not None:
+            return plan.allreduce_stats(local_stats)
         return np.asarray(comm.allreduce(local_stats, ReduceOp.SUM))
     if granularity == "per_term_class":
         global_stats = np.empty_like(local_stats)
@@ -67,6 +75,7 @@ def parallel_update_parameters(
     granularity: str = "packed",
     *,
     kernels: str | None = None,
+    plan=None,
 ) -> tuple[Classification, np.ndarray]:
     """M-step: local statistics + Allreduce + replicated finalize.
 
@@ -91,7 +100,9 @@ def parallel_update_parameters(
         nbytes = local_stats.nbytes
         nc0 = comm.stats.n_collectives
         t0 = rec.clock()
-        global_stats = reduce_stats(comm, clf.spec, local_stats, granularity)
+        global_stats = reduce_stats(
+            comm, clf.spec, local_stats, granularity, plan=plan
+        )
         dt = rec.clock() - t0
         rec.add_phase("allreduce_params", dt)
         rec.comm_event(
@@ -99,7 +110,9 @@ def parallel_update_parameters(
             n_calls=max(comm.stats.n_collectives - nc0, 1),
         )
     else:
-        global_stats = reduce_stats(comm, clf.spec, local_stats, granularity)
+        global_stats = reduce_stats(
+            comm, clf.spec, local_stats, granularity, plan=plan
+        )
     with rec.phase("params"):
         log_pi, term_params = finalize_parameters(
             clf.spec, global_stats, w_j, n_total_items

@@ -26,7 +26,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.database import Database
-from repro.data.partition import block_partition_array, partition_bounds
+from repro.data.partition import (
+    block_partition,
+    block_partition_array,
+    partition_bounds,
+)
 from repro.engine.classification import Classification
 from repro.engine.convergence import ConvergenceChecker
 from repro.engine.init import random_weights
@@ -35,13 +39,15 @@ from repro.engine.search import (
     SearchConfig,
     SearchResult,
     TryResult,
-    is_duplicate,
+    assign_duplicates,
+    duplicate_of_index,
 )
 from repro.models.registry import ModelSpec
 from repro.mpc import faults
 from repro.mpc.api import Communicator
 from repro.mpc.reduceops import ReduceOp
 from repro.obs import recorder as obs
+from repro.parallel.packed import ReductionPlan
 from repro.util.rng import SeedSequenceStream
 
 
@@ -101,6 +107,7 @@ def parallel_converge_try(
     kernels: str | None = None,
     try_index: int = 0,
     on_cycle=None,
+    plan=None,
 ) -> tuple[Classification, bool]:
     """Run parallel ``base_cycle`` until the (replicated) checker stops.
 
@@ -109,7 +116,9 @@ def parallel_converge_try(
     runs after every completed, non-final cycle — the per-cycle
     checkpoint cut point, downstream of both Allreduces where the
     classification is global.  Injected faults (:mod:`repro.mpc.faults`)
-    fire at the cycle boundary before the cycle's work starts.
+    fire at the cycle boundary before the cycle's work starts.  ``plan``
+    is the try's :class:`~repro.parallel.packed.ReductionPlan` (both
+    Allreduce cut points reduce in place through its buffers).
     """
     from repro.parallel.pcycle import parallel_base_cycle
 
@@ -119,13 +128,40 @@ def parallel_converge_try(
             comm, site="cycle", try_index=try_index, cycle=clf.n_cycles + 1
         )
         clf, _wts, _stats = parallel_base_cycle(
-            local_db, clf, n_total_items, comm, kernels=kernels
+            local_db, clf, n_total_items, comm, kernels=kernels, plan=plan
         )
         assert clf.scores is not None
         stopped = checker.update(clf.scores.log_marginal_cs)
         if not stopped and on_cycle is not None:
             on_cycle(clf, checker)
     return clf, not checker.hit_cycle_limit
+
+
+def resolve_try_groups(
+    try_groups: int | str | None, world_size: int, max_n_tries: int
+) -> int:
+    """Number of concurrent try groups for a world of ``world_size``.
+
+    ``None``/``1`` — single-level search (the paper's structure);
+    ``"auto"`` — as many groups as can be kept busy,
+    ``min(world_size, max_n_tries)``; an explicit int must lie in
+    ``[1, world_size]`` (every group needs at least one rank).
+    """
+    if try_groups is None or try_groups == 1:
+        return 1
+    if try_groups == "auto":
+        return max(1, min(world_size, max_n_tries))
+    if not isinstance(try_groups, int):
+        raise ValueError(
+            f"try_groups must be an int, 'auto', or None, got {try_groups!r}"
+        )
+    if try_groups < 1:
+        raise ValueError(f"try_groups must be >= 1, got {try_groups}")
+    if try_groups > world_size:
+        raise ValueError(
+            f"try_groups={try_groups} exceeds the world size {world_size}"
+        )
+    return try_groups
 
 
 def run_parallel_search(
@@ -137,6 +173,7 @@ def run_parallel_search(
     full_db: Database | None = None,
     kernels: str | None = None,
     checkpointer=None,
+    try_groups: int | str | None = None,
 ) -> SearchResult:
     """P-AutoClass's BIG_LOOP: replicated control, partitioned data.
 
@@ -151,6 +188,14 @@ def run_parallel_search(
     flow proceeds in lockstep exactly as if the run had never stopped.
     The checkpoint state is *global*, so a search checkpointed on P
     ranks may resume on a different world size.
+
+    ``try_groups`` — resolved by :func:`resolve_try_groups` — switches
+    on the **two-level** search: the world splits into that many
+    sub-communicator groups, each group runs its round-robin share of
+    the tries data-parallel over its own block partition, and the
+    leaders exchange results for a canonical merge (see
+    :func:`run_grouped_search`).  Requires ``full_db`` (each group
+    re-partitions the input over its own size).
     """
     config = config or SearchConfig()
     if config.max_seconds is not None:
@@ -158,6 +203,18 @@ def run_parallel_search(
             "max_seconds is a wall-clock budget and would desynchronize "
             "the replicated control flow; parallel searches use "
             "max_n_tries instead"
+        )
+    n_groups = resolve_try_groups(try_groups, comm.size, config.max_n_tries)
+    if n_groups > 1:
+        if full_db is None:
+            raise ValueError(
+                "try-parallel search (try_groups > 1) needs the full "
+                "database on every rank; use run_pautoclass "
+                "(replicated input)"
+            )
+        return run_grouped_search(
+            comm, spec, n_total_items, config, full_db, n_groups,
+            kernels=kernels, checkpointer=checkpointer,
         )
     if config.init_method == "seeded" and full_db is None:
         raise ValueError(
@@ -208,18 +265,13 @@ def run_parallel_search(
                     result, stream,
                     try_index=_k, n_classes_requested=_j, clf=c, checker=ck,
                 )
+        plan = ReductionPlan(comm, j, spec.n_stats)
         clf, converged = parallel_converge_try(
             local_db, clf0, n_total_items, comm, checker,
-            kernels=kernels, try_index=k, on_cycle=on_cycle,
+            kernels=kernels, try_index=k, on_cycle=on_cycle, plan=plan,
         )
-        duplicate_of = next(
-            (
-                t.try_index
-                for t in result.tries
-                if t.duplicate_of is None
-                and is_duplicate(clf, t.classification, config.duplicate_eps)
-            ),
-            None,
+        duplicate_of = duplicate_of_index(
+            clf, result.tries, config.duplicate_eps
         )
         result.tries.append(
             TryResult(
@@ -233,4 +285,141 @@ def run_parallel_search(
         )
         if checkpointer is not None:
             checkpointer.save_boundary(result, stream)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# two-level search: try-parallel groups over sub-communicators
+
+
+def group_color(world_size: int, n_groups: int, rank: int) -> int:
+    """Group of ``rank`` under a contiguous block partition of the world.
+
+    Contiguous blocks (the same :func:`partition_bounds` rule the data
+    partition uses) keep each group's ranks adjacent, so on machines
+    where neighbouring ranks are cheap to reach (the simulated mesh) a
+    group's collectives stay local.
+    """
+    for g in range(n_groups):
+        lo, hi = partition_bounds(world_size, n_groups, g)
+        if lo <= rank < hi:
+            return g
+    raise ValueError(f"rank {rank} not covered by {n_groups} groups")
+
+
+def run_grouped_search(
+    comm: Communicator,
+    spec: ModelSpec,
+    n_total_items: int,
+    config: SearchConfig,
+    full_db: Database,
+    n_groups: int,
+    *,
+    kernels: str | None = None,
+    checkpointer=None,
+) -> SearchResult:
+    """Two-level BIG_LOOP: tries concurrent across groups, data-parallel within.
+
+    The world splits into ``n_groups`` contiguous sub-communicators;
+    try ``k`` is owned by group ``k % n_groups``.  Each group runs its
+    tries exactly as a dedicated world of its size would — same block
+    partition of the full database, same per-try RNG children (the
+    streams are index-keyed, so out-of-order execution draws identical
+    numbers), same reduction schedule over the group's ranks — which is
+    why a grouped run's try is *bitwise identical* to the same try on a
+    same-size world (tests assert this).
+
+    The merge is deterministic whatever the groups' relative speeds:
+    group leaders exchange their completed tries over an ``allgather``
+    on a leader sub-communicator, broadcast within their groups, and
+    every rank applies
+    :func:`repro.engine.search.assign_duplicates` — duplicate links
+    recomputed in canonical try order, independent of completion order.
+
+    Checkpointing uses per-try files written by each group's leader
+    (:meth:`repro.ckpt.Checkpointer.save_try`); because the search key
+    covers neither world size nor group count, a checkpointed search
+    resumes under any ``try_groups``.
+    """
+    color = group_color(comm.size, n_groups, comm.rank)
+    sub = comm.split(color, key=comm.rank)
+    leader_comm = comm.split(0 if sub.rank == 0 else None, key=comm.rank)
+    local_db = block_partition(full_db, sub.size, sub.rank)
+    spec.validate(local_db)
+    stream = SeedSequenceStream(config.seed)
+    rec = obs.current()
+    if rec.enabled:
+        rec.count("try_groups", n_groups)
+        rec.count("try_group", color)
+        rec.count("try_group_size", sub.size)
+    completed: dict[int, TryResult] = {}
+    partial: dict = {}
+    if checkpointer is not None:
+        checkpointer.bind(config, spec, n_total_items)
+        completed, partial = checkpointer.load_tries(spec)
+    mine: list[TryResult] = []
+    for k in range(config.max_n_tries):
+        if k % n_groups != color:
+            continue
+        prior = completed.get(k)
+        if prior is not None:
+            mine.append(prior)
+            continue
+        rec.try_boundary()
+        checker = config.checker()
+        resume = partial.get(k)
+        if resume is not None:
+            j = resume.n_classes_requested
+            clf0 = resume.classification
+            checker.history = list(resume.checker_history)
+        else:
+            j = config.select_n_classes(k, stream)
+            faults.maybe_fire(sub, site="init", try_index=k)
+            with rec.phase("init"):
+                clf0 = parallel_initial_classification(
+                    local_db,
+                    spec,
+                    j,
+                    n_total_items,
+                    stream.child("try", k),
+                    sub,
+                    method=config.init_method,
+                    full_db=full_db,
+                    kernels=kernels,
+                )
+        on_cycle = None
+        if (
+            checkpointer is not None
+            and checkpointer.policy == "per_cycle"
+            and sub.rank == 0
+        ):
+            def on_cycle(c, ck, _k=k, _j=j):
+                checkpointer.save_try_cycle(
+                    try_index=_k, n_classes_requested=_j, clf=c, checker=ck,
+                )
+        plan = ReductionPlan(sub, j, spec.n_stats)
+        clf, converged = parallel_converge_try(
+            local_db, clf0, n_total_items, sub, checker,
+            kernels=kernels, try_index=k, on_cycle=on_cycle, plan=plan,
+        )
+        try_result = TryResult(
+            try_index=k,
+            n_classes_requested=j,
+            classification=clf,
+            converged=converged,
+            n_cycles=clf.n_cycles,
+            duplicate_of=None,  # assigned canonically at the merge
+        )
+        mine.append(try_result)
+        if checkpointer is not None and sub.rank == 0:
+            checkpointer.save_try(try_result)
+    # Merge: leaders exchange group results, groups fan them out, and
+    # every rank applies the canonical (order-independent) duplicate
+    # assignment — so all ranks hold the identical SearchResult.
+    merged: list[TryResult] | None = None
+    if leader_comm is not None:
+        merged = [t for group in leader_comm.allgather(mine) for t in group]
+    merged = sub.bcast(merged, root=0)
+    result = SearchResult(config=config)
+    result.tries.extend(assign_duplicates(merged, config.duplicate_eps))
     return result

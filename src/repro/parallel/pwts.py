@@ -26,6 +26,7 @@ def parallel_update_wts(
     comm: Communicator,
     *,
     kernels: str | None = None,
+    plan=None,
 ) -> tuple[np.ndarray, WtsReduction]:
     """E-step over this rank's block + one global Allreduce.
 
@@ -33,7 +34,10 @@ def parallel_update_wts(
     *global* class totals and scoring scalars — identical on every rank.
     ``kernels`` selects the local implementation (fused kernels give
     every rank's local half the same speedup without touching this
-    function's Allreduce cut point).
+    function's Allreduce cut point).  ``plan`` — a
+    :class:`repro.parallel.packed.ReductionPlan` — routes the reduction
+    through the try's preallocated buffer (bitwise-identical result,
+    allocation-free).
 
     Observability: the local compute is timed as phase ``"wts"`` and the
     Allreduce as phase ``"allreduce_wts"`` on the ambient
@@ -43,13 +47,19 @@ def parallel_update_wts(
     rec = obs.current()
     with rec.phase("wts"):
         wts, payload = local_update_wts(local_db, clf, kernels=kernels)
+
+    def reduce_payload(p):
+        if plan is not None:
+            return plan.allreduce_wts(p)
+        return comm.allreduce(p, ReduceOp.SUM)
+
     if rec.enabled:
         nbytes = payload.nbytes
         t0 = rec.clock()
-        payload = comm.allreduce(payload, ReduceOp.SUM)
+        payload = reduce_payload(payload)
         dt = rec.clock() - t0
         rec.add_phase("allreduce_wts", dt)
         rec.comm_event("allreduce_wts", nbytes, dt)
     else:
-        payload = comm.allreduce(payload, ReduceOp.SUM)
+        payload = reduce_payload(payload)
     return wts, finalize_wts(payload, clf.n_classes)

@@ -211,6 +211,14 @@ class SimComm(ThreadComm):
         return env.payload, env.source, env.tag, env.nbytes
 
     # -- collectives: suppress Python-overhead charging, price reductions ---
+    #
+    # The base Communicator wraps every collective's exchange in
+    # ``_collective_scope()`` and prices (all)reduce arithmetic through
+    # ``_charge_reduction_rounds``; overriding those two hooks replaces
+    # the per-collective overrides this class used to carry.  Python
+    # interpreter overhead *inside* the collective algorithms is
+    # deliberately not charged as compute (a C MPI library doesn't pay
+    # Python prices).
 
     def _next_coll_tag(self) -> int:
         # Called on entry to every collective wrapper; absorb the
@@ -218,88 +226,37 @@ class SimComm(ThreadComm):
         self._absorb_compute()
         return super()._next_coll_tag()
 
-    def allreduce(self, payload, op=None):
-        from repro.mpc.reduceops import ReduceOp
+    def _collective_scope(self):
+        return _SimCollectiveScope(self)
 
-        op = ReduceOp.SUM if op is None else op
-        self._absorb_compute()  # charge the kernel work preceding the collective
-        self._collective_depth += 1
-        try:
-            result = super().allreduce(payload, op)
-        finally:
-            self._collective_depth -= 1
-            self._reset_mark()
+    def _charge_reduction_rounds(self, rounds: int, payload) -> None:
         # Price the arithmetic of the reduction tree this rank performed:
         # ~log2(P) combines of the full payload (recursive doubling) or
         # an equivalent amount chunked (ring); one full-payload combine
         # per round is a faithful charge for both.
         from repro.mpc.api import payload_nbytes
 
-        rounds = max((self.size - 1).bit_length(), 1) if self.size > 1 else 0
         self.charge(rounds * self.cost.reduce_time(payload_nbytes(payload)))
-        return result
 
-    def reduce(self, payload, op=None, root: int = 0):
-        from repro.mpc.reduceops import ReduceOp
 
-        op = ReduceOp.SUM if op is None else op
-        self._absorb_compute()
-        self._collective_depth += 1
-        try:
-            result = super().reduce(payload, op, root)
-        finally:
-            self._collective_depth -= 1
-            self._reset_mark()
-        from repro.mpc.api import payload_nbytes
+class _SimCollectiveScope:
+    """Suspend measured-compute charging for one collective's exchange."""
 
-        rounds = max((self.size - 1).bit_length(), 1) if self.size > 1 else 0
-        self.charge(rounds * self.cost.reduce_time(payload_nbytes(payload)))
-        return result
+    __slots__ = ("_comm",)
 
-    def bcast(self, obj, root: int = 0):
-        self._absorb_compute()
-        self._collective_depth += 1
-        try:
-            return super().bcast(obj, root)
-        finally:
-            self._collective_depth -= 1
-            self._reset_mark()
+    def __init__(self, comm: SimComm) -> None:
+        self._comm = comm
 
-    def barrier(self) -> None:
-        self._absorb_compute()
-        self._collective_depth += 1
-        try:
-            super().barrier()
-        finally:
-            self._collective_depth -= 1
-            self._reset_mark()
+    def __enter__(self) -> "_SimCollectiveScope":
+        comm = self._comm
+        comm._absorb_compute()  # charge the kernel work preceding the collective
+        comm._collective_depth += 1
+        return self
 
-    def gather(self, obj, root: int = 0):
-        self._absorb_compute()
-        self._collective_depth += 1
-        try:
-            return super().gather(obj, root)
-        finally:
-            self._collective_depth -= 1
-            self._reset_mark()
-
-    def allgather(self, obj):
-        self._absorb_compute()
-        self._collective_depth += 1
-        try:
-            return super().allgather(obj)
-        finally:
-            self._collective_depth -= 1
-            self._reset_mark()
-
-    def scatter(self, objs, root: int = 0):
-        self._absorb_compute()
-        self._collective_depth += 1
-        try:
-            return super().scatter(objs, root)
-        finally:
-            self._collective_depth -= 1
-            self._reset_mark()
+    def __exit__(self, *_exc) -> None:
+        comm = self._comm
+        comm._collective_depth -= 1
+        comm._reset_mark()
 
 
 @dataclass(frozen=True)

@@ -88,11 +88,20 @@ class RunTrace:
 
     @classmethod
     def from_run(cls, run, db, meta: TraceMeta) -> "RunTrace":
-        """Extract a trace from a fitted :class:`repro.api.Run`."""
-        from repro.engine.report import membership
+        """Extract a trace from a fitted :class:`repro.api.Run`.
 
+        A try-parallel run (``try_groups > 1``) contributes no per-cycle
+        stream: rank 0's cycle telemetry covers only its own group's
+        tries, so it is not a whole-search trace.  Everything global —
+        per-try cycle counts, scores, packed params, class map — is
+        still captured and compared.
+        """
+        from repro.engine.report import membership
+        from repro.obs.report import record_try_groups
+
+        grouped = run.record is not None and record_try_groups(run.record) > 1
         cycles: list[dict[str, Any]] = []
-        if run.record is not None and run.instrument == "full":
+        if run.record is not None and run.instrument == "full" and not grouped:
             for c in run.record.ranks[0].cycles:
                 cycles.append(
                     {
