@@ -42,6 +42,9 @@ TIMING_METRICS: dict[str, tuple[str, ...]] = {
         "try_parallel.elapsed_g1_s",
         "try_parallel.elapsed_g4_s",
     ),
+    # The batched arm is asserted via the >= 5x speedup bar inside the
+    # bench; gating it here too would double-count the same noise.
+    "BENCH_serve.json": ("single.elapsed_s",),
 }
 
 

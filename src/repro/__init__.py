@@ -34,6 +34,7 @@ Package map (details in DESIGN.md):
 ``repro.parallel``        P-AutoClass — the paper's contribution
 ``repro.obs``             run observability (phase timers, records, report)
 ``repro.ckpt``            checkpoint/restart for durable searches
+``repro.serve``           fitted-model artifacts + batched inference
 ``repro.harness``         experiment runners for every figure/claim
 ========================  ==================================================
 """
@@ -41,11 +42,18 @@ Package map (details in DESIGN.md):
 from repro.api import (
     BACKENDS,
     AutoClass,
+    FitConfig,
     NotFittedError,
     PAutoClass,
     PAutoClassRun,
     Run,
     register_backend,
+)
+from repro.serve import (
+    ArtifactError,
+    FittedModel,
+    Scorer,
+    ScorerConfig,
 )
 from repro.ckpt import CheckpointError, Checkpointer, CheckpointSpec
 from repro.mpc.faults import FaultInjected, FaultInjector, FaultSpec
@@ -66,6 +74,7 @@ from repro.verify import ConformanceError, ConformanceReport
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactError",
     "AttributeSet",
     "AutoClass",
     "BACKENDS",
@@ -79,12 +88,16 @@ __all__ = [
     "FaultInjected",
     "FaultInjector",
     "FaultSpec",
+    "FitConfig",
+    "FittedModel",
     "ModelSpec",
     "NotFittedError",
     "PAutoClass",
     "PAutoClassRun",
     "RealAttribute",
     "Run",
+    "Scorer",
+    "ScorerConfig",
     "SearchConfig",
     "SearchResult",
     "__version__",

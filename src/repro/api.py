@@ -18,15 +18,26 @@ search ``result``, the observability ``record`` (when fitted with
 ``instrument="phases"`` or ``"full"``; see :mod:`repro.obs`), and a
 paper-style ``report()`` of per-rank phase timings.  The ``"sim"``
 backend additionally reports the virtual elapsed seconds and — at
-``instrument="full"`` — the rendered timeline that ``trace=True`` used
-to produce (``trace`` is deprecated and maps to ``instrument="full"``).
+``instrument="full"`` — the rendered virtual-time timeline.
+
+Inference is sklearn-shaped and uniform: ``predict`` /
+``predict_proba`` / ``predict_logproba`` / ``score`` exist identically
+on :class:`AutoClass`, :class:`PAutoClass` (raising
+:class:`NotFittedError` before ``fit``), on the returned :class:`Run`,
+and on the servable :class:`repro.serve.FittedModel` a run exports via
+:meth:`Run.fitted` — all delegating to the same allocation-free batch
+kernels in :mod:`repro.serve.scoring`.
+
+Fit-time options (``kernels=``, ``instrument=``, ``verify=``,
+``checkpoint*=``, ``try_groups=``, ``faults=``, ``collectives=``) are
+one validated :class:`FitConfig`; the bare keyword arguments both
+classes accept are a thin shim that builds the same object.
 """
 
 from __future__ import annotations
 
 import logging
 import time
-import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, replace as dc_replace
 from pathlib import Path
@@ -36,12 +47,13 @@ import numpy as np
 from repro.ckpt.manager import CheckpointSpec, check_policy
 from repro.data.database import Database
 from repro.engine.classification import Classification
-from repro.engine.report import classification_report, membership
+from repro.engine.report import classification_report
 from repro.engine.search import SearchConfig, SearchResult, run_search
 from repro.kernels import config as kernel_config
 from repro.models.registry import ModelSpec
 from repro.models.summary import DataSummary
 from repro.mpc.api import CollectiveConfig
+from repro.mpc.faults import FaultInjector
 from repro.mpc.procworld import run_spmd_processes
 from repro.mpc.serial import SerialComm
 from repro.mpc.threadworld import run_spmd_threads
@@ -118,6 +130,139 @@ def check_verify(verify: str, config: SearchConfig) -> None:
             "verify='trace'/'strict' needs a deterministic search; "
             "max_seconds makes the try count wall-clock-dependent and "
             "no shadow run could be expected to conform"
+        )
+
+
+def _check_try_groups(
+    try_groups: int | str | None, n_processors: int | None = None
+) -> None:
+    """Validate a ``try_groups`` option (range-checked when the world
+    size is known)."""
+    if try_groups is None or try_groups == "auto":
+        return
+    if not isinstance(try_groups, int) or isinstance(try_groups, bool):
+        raise ValueError(
+            "try_groups must be None, 'auto', or an int, "
+            f"got {try_groups!r}"
+        )
+    if try_groups < 1:
+        raise ValueError(f"try_groups must be >= 1, got {try_groups}")
+    if n_processors is not None and try_groups > n_processors:
+        raise ValueError(
+            f"try_groups={try_groups} must be in [1, n_processors="
+            f"{n_processors}]"
+        )
+
+
+#: Sentinel distinguishing "keyword not passed" from an explicit value
+#: (so bare fit keywords can shim onto :class:`FitConfig` defaults).
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class FitConfig:
+    """Every fit-time option of :class:`AutoClass` / :class:`PAutoClass`,
+    validated once.
+
+    One frozen object replaces the historical kwarg sprawl across the
+    constructors and ``fit`` (``instrument=``, ``kernels=``,
+    ``verify=``, ``checkpoint*=``, ``try_groups=``, ``faults=``,
+    ``collectives=``).  Both classes still accept the same bare
+    keywords — they are a thin shim that builds (or
+    :meth:`merged`-overrides) this object; passing ``options=``
+    *and* a bare keyword is an error, never a silent merge.
+
+    ``try_groups`` / ``collectives`` / ``faults`` are parallel-only:
+    :class:`AutoClass` rejects configs that set them.
+    """
+
+    #: Observability level: ``"off"`` | ``"phases"`` | ``"full"``.
+    instrument: str = "off"
+    #: Kernel path: None (ambient default) | ``"fused"`` | ``"reference"``.
+    kernels: str | None = None
+    #: Conformance shadow run: ``"off"`` | ``"trace"`` | ``"strict"``.
+    verify: str = "off"
+    #: Checkpoint policy: ``"off"`` | ``"per_try"`` | ``"per_cycle"``.
+    checkpoint: str = "off"
+    checkpoint_dir: str | Path | None = None
+    resume: bool = True
+    max_restarts: int = 0
+    #: Fault injection plan (:class:`repro.mpc.faults.FaultInjector`).
+    faults: FaultInjector | None = None
+    #: Two-level search groups: None | ``"auto"`` | int.
+    try_groups: int | str | None = None
+    collectives: CollectiveConfig | None = None
+
+    def __post_init__(self) -> None:
+        check_instrument(self.instrument)
+        if self.kernels is not None:
+            kernel_config.resolve(self.kernels)  # validate eagerly
+        if self.verify not in VERIFY_LEVELS:
+            raise ValueError(
+                f"verify {self.verify!r} not in {VERIFY_LEVELS}"
+            )
+        if self.checkpoint != "off":
+            check_policy(self.checkpoint)
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0: {self.max_restarts}"
+            )
+        _check_try_groups(self.try_groups)
+
+    def merged(self, **overrides) -> "FitConfig":
+        """A copy with the non-:data:`_UNSET` overrides applied."""
+        given = {k: v for k, v in overrides.items() if v is not _UNSET}
+        return dc_replace(self, **given) if given else self
+
+
+def _build_options(options: FitConfig | None, **bare) -> FitConfig:
+    """Resolve an ``options=`` object vs. bare keywords (exactly one)."""
+    given = {k: v for k, v in bare.items() if v is not _UNSET}
+    if options is not None:
+        if not isinstance(options, FitConfig):
+            raise TypeError(
+                f"options must be a FitConfig, got {type(options).__name__}"
+            )
+        if given:
+            raise ValueError(
+                "pass either options= or bare fit keywords, not both "
+                f"(got options= and {sorted(given)})"
+            )
+        return options
+    return FitConfig(**given)
+
+
+def _fit_options(base: FitConfig, options: FitConfig | None, **bare) -> FitConfig:
+    """Resolve fit-time options against the constructor-time ``base``.
+
+    ``options=`` replaces the base wholesale; bare keywords override
+    just the fields they name; both together is an error.
+    """
+    given = {k: v for k, v in bare.items() if v is not _UNSET}
+    if options is not None:
+        if not isinstance(options, FitConfig):
+            raise TypeError(
+                f"options must be a FitConfig, got {type(options).__name__}"
+            )
+        if given:
+            raise ValueError(
+                "pass either options= or bare fit keywords, not both "
+                f"(got options= and {sorted(given)})"
+            )
+        return options
+    return base.merged(**bare)
+
+
+def _check_sequential(opts: FitConfig) -> None:
+    """Reject parallel-only options on the sequential class."""
+    bad = [
+        k for k in ("try_groups", "collectives", "faults")
+        if getattr(opts, k) is not None
+    ]
+    if bad:
+        raise ValueError(
+            f"option(s) {', '.join(bad)} are parallel-only "
+            "(use PAutoClass)"
         )
 
 
@@ -212,6 +357,10 @@ class Run:
     #: unless fitted with ``verify="trace"`` or ``"strict"``); a
     #: :class:`repro.verify.ConformanceReport`.
     conformance: object | None = None
+    #: Kernel path the fit ran under (None = ambient default) —
+    #: inference below scores with the same path, so ``predict`` on the
+    #: training database reproduces the run's final class map.
+    kernels: str | None = None
 
     @property
     def best(self):
@@ -235,6 +384,59 @@ class Run:
         from repro.obs.report import render_run
 
         return render_run(self.record)
+
+    # -- inference (delegates to repro.serve.scoring) ---------------------
+
+    def predict(self, db: Database) -> np.ndarray:
+        """Hard class assignment per item, ``(n_items,)`` int64."""
+        from repro.serve import scoring
+
+        return scoring.predict(
+            db, self.best.classification, kernels=self.kernels
+        )
+
+    def predict_proba(self, db: Database) -> np.ndarray:
+        """``(n_items, n_classes)`` posterior membership probabilities."""
+        from repro.serve import scoring
+
+        return scoring.predict_proba(
+            db, self.best.classification, kernels=self.kernels
+        )
+
+    def predict_logproba(self, db: Database) -> np.ndarray:
+        """``(n_items, n_classes)`` log posterior membership."""
+        from repro.serve import scoring
+
+        return scoring.predict_logproba(
+            db, self.best.classification, kernels=self.kernels
+        )
+
+    def score_samples(self, db: Database) -> np.ndarray:
+        """Per-item log evidence ``log p(x_i)``, ``(n_items,)``."""
+        from repro.serve import scoring
+
+        return scoring.score_samples(
+            db, self.best.classification, kernels=self.kernels
+        )
+
+    def score(self, db: Database) -> float:
+        """Mean per-item log evidence (sklearn's mixture ``score``)."""
+        from repro.serve import scoring
+
+        return scoring.score(
+            db, self.best.classification, kernels=self.kernels
+        )
+
+    def fitted(self, db: Database | None = None, *, summary=None):
+        """Export the servable :class:`repro.serve.FittedModel`.
+
+        Needs the training database (or its precomputed
+        :class:`~repro.models.summary.DataSummary`) because priors are
+        summary-relative.
+        """
+        from repro.serve.artifact import FittedModel
+
+        return FittedModel.from_run(self, db, summary=summary)
 
 
 #: Backwards-compatible alias — PR 1's parallel-fit result type is now
@@ -289,6 +491,7 @@ def _assemble_run(
         ),
         sim_elapsed=sim_elapsed,
         timeline=timeline,
+        kernels=model.kernels,
     )
 
 
@@ -393,26 +596,40 @@ class AutoClass:
     Pass ``instrument="phases"`` (timers only) or ``"full"`` (timers +
     per-cycle telemetry) to collect an observability record; it is
     available as ``run.record`` and rendered by ``run.report()``.
+
+    All fit-time options may also be passed as one validated
+    :class:`FitConfig` via ``options=`` (to the constructor or to
+    ``fit``); the bare keywords build the same object.
     """
 
     def __init__(
         self,
         spec: ModelSpec | None = None,
         *,
-        instrument: str = "off",
-        kernels: str | None = None,
+        options: FitConfig | None = None,
+        instrument: str = _UNSET,
+        kernels: str | None = _UNSET,
         **config,
     ) -> None:
-        check_instrument(instrument)
-        if kernels is not None:
-            kernel_config.resolve(kernels)  # validate eagerly
+        self.options = _build_options(
+            options, instrument=instrument, kernels=kernels
+        )
+        _check_sequential(self.options)
         self.spec = spec
-        self.instrument = instrument
-        self.kernels = kernels
         self.config = SearchConfig(**config)
         self.result_: SearchResult | None = None
         self.run_: Run | None = None
         self._db: Database | None = None
+        #: Effective options of the fit in flight (fit-time overrides).
+        self._active_options: FitConfig | None = None
+
+    @property
+    def instrument(self) -> str:
+        return (self._active_options or self.options).instrument
+
+    @property
+    def kernels(self) -> str | None:
+        return (self._active_options or self.options).kernels
 
     # -- fitting ---------------------------------------------------------
 
@@ -420,11 +637,12 @@ class AutoClass:
         self,
         db: Database,
         *,
-        checkpoint: str = "off",
-        checkpoint_dir: str | Path | None = None,
-        resume: bool = True,
-        max_restarts: int = 0,
-        verify: str = "off",
+        options: FitConfig | None = None,
+        checkpoint: str = _UNSET,
+        checkpoint_dir: str | Path | None = _UNSET,
+        resume: bool = _UNSET,
+        max_restarts: int = _UNSET,
+        verify: str = _UNSET,
     ) -> Run:
         """Run the BIG_LOOP search; returns (and stores) the :class:`Run`.
 
@@ -440,68 +658,83 @@ class AutoClass:
         (:mod:`repro.verify`): ``"trace"`` attaches the report as
         ``run.conformance``, ``"strict"`` additionally raises
         :class:`repro.verify.ConformanceError` on any divergence.
+
+        Any constructor-time option may be overridden per fit — by the
+        bare keywords above, or wholesale with ``options=``.
         """
-        if max_restarts < 0:
-            raise ValueError(f"max_restarts must be >= 0: {max_restarts}")
-        check_verify(verify, self.config)
-        ckpt_spec = _resolve_checkpoint(checkpoint, checkpoint_dir, resume)
-        if max_restarts and ckpt_spec is None:
+        opts = _fit_options(
+            self.options, options,
+            checkpoint=checkpoint, checkpoint_dir=checkpoint_dir,
+            resume=resume, max_restarts=max_restarts, verify=verify,
+        )
+        _check_sequential(opts)
+        check_verify(opts.verify, self.config)
+        ckpt_spec = _resolve_checkpoint(
+            opts.checkpoint, opts.checkpoint_dir, opts.resume
+        )
+        if opts.max_restarts and ckpt_spec is None:
             raise ValueError("max_restarts needs checkpointing enabled")
         attempt = 0
         retry_log: list[tuple[int, float, str]] = []
-        while True:
-            spec = ckpt_spec
-            if spec is not None and attempt > 0:
-                spec = dc_replace(spec, resume=True)  # retries must resume
-            checkpointer = None if spec is None else spec.build(0)
-            try:
-                record = None
-                if self.instrument == "off":
-                    result = run_search(
-                        db, self.config, self.spec,
-                        checkpointer=checkpointer, kernels=self.kernels,
-                    )
-                else:
-                    rec = Recorder(level=self.instrument)
-                    with recording(rec):
+        self._active_options = opts
+        try:
+            while True:
+                spec = ckpt_spec
+                if spec is not None and attempt > 0:
+                    spec = dc_replace(spec, resume=True)  # retries must resume
+                checkpointer = None if spec is None else spec.build(0)
+                try:
+                    record = None
+                    if opts.instrument == "off":
                         result = run_search(
                             db, self.config, self.spec,
-                            checkpointer=checkpointer, kernels=self.kernels,
+                            checkpointer=checkpointer, kernels=opts.kernels,
                         )
-                    record = build_run_record(
-                        "sequential", 1, self.instrument,
-                        [rec.to_rank_record()],
+                    else:
+                        rec = Recorder(level=opts.instrument)
+                        with recording(rec):
+                            result = run_search(
+                                db, self.config, self.spec,
+                                checkpointer=checkpointer,
+                                kernels=opts.kernels,
+                            )
+                        record = build_run_record(
+                            "sequential", 1, opts.instrument,
+                            [rec.to_rank_record()],
+                        )
+                    break
+                except RuntimeError as exc:
+                    attempt += 1
+                    if attempt > opts.max_restarts:
+                        raise
+                    backoff = restart_backoff_seconds(attempt)
+                    reason = str(exc).splitlines()[0]
+                    retry_log.append((attempt, backoff, reason))
+                    logger.warning(
+                        "fit attempt %d failed (%s); restarting from "
+                        "checkpoint in %.3gs", attempt, exc, backoff,
                     )
-                break
-            except RuntimeError as exc:
-                attempt += 1
-                if attempt > max_restarts:
-                    raise
-                backoff = restart_backoff_seconds(attempt)
-                reason = str(exc).splitlines()[0]
-                retry_log.append((attempt, backoff, reason))
-                logger.warning(
-                    "fit attempt %d failed (%s); restarting from "
-                    "checkpoint in %.3gs", attempt, exc, backoff,
-                )
-                time.sleep(backoff)
+                    time.sleep(backoff)
+        finally:
+            self._active_options = None
         run = Run(
             result=result,
             backend="sequential",
             n_processors=1,
-            instrument=self.instrument,
+            instrument=opts.instrument,
             record=record,
             restarts=len(retry_log),
             retry_log=tuple(retry_log),
+            kernels=opts.kernels,
         )
         _surface_restarts(run)
-        if verify != "off":
+        if opts.verify != "off":
             # After the retry loop on purpose: a ConformanceError is a
             # *finding*, not a transient failure to restart through.
             run = _verified(
                 run, db, config=self.config, spec=self.spec,
-                kernels=self.kernels, allreduce="recursive_doubling",
-                verify=verify,
+                kernels=opts.kernels, allreduce="recursive_doubling",
+                verify=opts.verify,
             )
         self.result_ = result
         self.run_ = run
@@ -515,17 +748,38 @@ class AutoClass:
             raise NotFittedError("call fit() first")
         return self.result_.best.classification
 
-    # -- inference --------------------------------------------------------
+    # -- inference (delegates to the Run's unified methods) ---------------
+
+    def _fitted_run(self) -> Run:
+        if self.run_ is None:
+            raise NotFittedError("call fit() first")
+        return self.run_
+
+    def predict(self, db: Database) -> np.ndarray:
+        """Hard class assignment per item, ``(n_items,)`` int64."""
+        return self._fitted_run().predict(db)
 
     def predict_proba(self, db: Database) -> np.ndarray:
         """``(n_items, n_classes)`` class membership probabilities."""
-        wts, _ = membership(db, self.best_)
-        return wts
+        return self._fitted_run().predict_proba(db)
 
-    def predict(self, db: Database) -> np.ndarray:
-        """Hard class assignment (argmax of the membership weights)."""
-        _, hard = membership(db, self.best_)
-        return hard
+    def predict_logproba(self, db: Database) -> np.ndarray:
+        """``(n_items, n_classes)`` log posterior membership."""
+        return self._fitted_run().predict_logproba(db)
+
+    def score(self, db: Database) -> float:
+        """Mean per-item log evidence (sklearn's mixture ``score``)."""
+        return self._fitted_run().score(db)
+
+    def fitted(self, db: Database | None = None, *, summary=None):
+        """Servable :class:`repro.serve.FittedModel` of the last fit.
+
+        Defaults to the training database the model was fitted on.
+        """
+        run = self._fitted_run()
+        if db is None and summary is None:
+            db = self._db
+        return run.fitted(db, summary=summary)
 
     def report(self) -> str:
         """AutoClass-style report of the best classification."""
@@ -560,68 +814,78 @@ class PAutoClass:
         backend: str = "threads",
         spec: ModelSpec | None = None,
         collectives: CollectiveConfig | None = None,
-        instrument: str = "off",
-        kernels: str | None = None,
-        trace: bool = False,
-        try_groups: int | str | None = None,
+        instrument: str = _UNSET,
+        kernels: str | None = _UNSET,
+        trace: bool | None = None,
+        try_groups: int | str | None = _UNSET,
+        *,
+        options: FitConfig | None = None,
         **config,
     ) -> None:
+        if trace is not None:
+            raise TypeError(
+                "PAutoClass(trace=...) was removed; use "
+                "instrument='full' (works on every backend and also "
+                "produces the sim timeline)"
+            )
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend {backend!r} not in {tuple(BACKENDS)}"
             )
         if n_processors < 1:
             raise ValueError(f"n_processors must be >= 1, got {n_processors}")
-        if try_groups is not None and try_groups != "auto":
-            if not isinstance(try_groups, int) or isinstance(try_groups, bool):
-                raise ValueError(
-                    "try_groups must be None, 'auto', or an int, "
-                    f"got {try_groups!r}"
-                )
-            if not 1 <= try_groups <= n_processors:
-                raise ValueError(
-                    f"try_groups={try_groups} must be in [1, n_processors="
-                    f"{n_processors}]"
-                )
-        if trace:
-            if backend != "sim":
-                raise ValueError("trace=True needs the 'sim' backend")
-            warnings.warn(
-                "PAutoClass(trace=True) is deprecated; use "
-                "instrument='full' (works on every backend and also "
-                "produces the sim timeline)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            instrument = "full"
-        check_instrument(instrument)
-        if kernels is not None:
-            kernel_config.resolve(kernels)  # validate eagerly
+        # collectives keeps its historical positional slot; None means
+        # unset so it composes with options= like the other keywords.
+        self.options = _build_options(
+            options,
+            instrument=instrument,
+            kernels=kernels,
+            try_groups=try_groups,
+            collectives=collectives if collectives is not None else _UNSET,
+        )
+        _check_try_groups(self.options.try_groups, n_processors)
         self.n_processors = n_processors
         self.backend = backend
         self.spec = spec
-        self.collectives = collectives
-        self.instrument = instrument
-        self.kernels = kernels
-        self.try_groups = try_groups
         self.config = SearchConfig(**config)
         self.run_: Run | None = None
         self._db: Database | None = None
-        #: Fit-time checkpoint/fault options; backend runners read these
-        #: off the model because the runner signature is fixed.
+        #: Effective options of the fit in flight; backend runners read
+        #: instrument/kernels/try_groups/collectives off the model
+        #: because the runner signature is fixed, and the properties
+        #: below surface fit-time overrides to them.
+        self._active_options: FitConfig | None = None
+        #: Fit-time checkpoint/fault state for the current attempt.
         self._ckpt_spec: CheckpointSpec | None = None
         self._faults = None
+
+    @property
+    def instrument(self) -> str:
+        return (self._active_options or self.options).instrument
+
+    @property
+    def kernels(self) -> str | None:
+        return (self._active_options or self.options).kernels
+
+    @property
+    def try_groups(self) -> int | str | None:
+        return (self._active_options or self.options).try_groups
+
+    @property
+    def collectives(self) -> CollectiveConfig | None:
+        return (self._active_options or self.options).collectives
 
     def fit(
         self,
         db: Database,
         *,
-        checkpoint: str = "off",
-        checkpoint_dir: str | Path | None = None,
-        resume: bool = True,
-        max_restarts: int = 0,
-        faults=None,
-        verify: str = "off",
+        options: FitConfig | None = None,
+        checkpoint: str = _UNSET,
+        checkpoint_dir: str | Path | None = _UNSET,
+        resume: bool = _UNSET,
+        max_restarts: int = _UNSET,
+        faults=_UNSET,
+        verify: str = _UNSET,
     ) -> Run:
         """Run the SPMD search on the configured backend.
 
@@ -644,57 +908,72 @@ class PAutoClass:
         budget).  Restart bookkeeping is surfaced as ``run.restarts`` /
         ``run.retry_log`` and, when instrumented, as a ``restarts``
         counter plus ``"restart"`` comm events on rank 0's record.
+
+        Any constructor-time option may be overridden per fit — by the
+        bare keywords above, or wholesale with ``options=``.
         """
-        if max_restarts < 0:
-            raise ValueError(f"max_restarts must be >= 0: {max_restarts}")
-        check_verify(verify, self.config)
-        ckpt_spec = _resolve_checkpoint(checkpoint, checkpoint_dir, resume)
-        if max_restarts and ckpt_spec is None:
+        opts = _fit_options(
+            self.options, options,
+            checkpoint=checkpoint, checkpoint_dir=checkpoint_dir,
+            resume=resume, max_restarts=max_restarts, faults=faults,
+            verify=verify,
+        )
+        _check_try_groups(opts.try_groups, self.n_processors)
+        check_verify(opts.verify, self.config)
+        ckpt_spec = _resolve_checkpoint(
+            opts.checkpoint, opts.checkpoint_dir, opts.resume
+        )
+        if opts.max_restarts and ckpt_spec is None:
             raise ValueError("max_restarts needs checkpointing enabled")
         spec = self.spec or ModelSpec.default_for(
             db.schema, DataSummary.from_database(db)
         )
         attempt = 0
         retry_log: list[tuple[int, float, str]] = []
-        while True:
-            self._ckpt_spec = ckpt_spec
-            if ckpt_spec is not None and attempt > 0:
-                self._ckpt_spec = dc_replace(ckpt_spec, resume=True)
-            self._faults = faults if attempt == 0 else None
-            try:
-                run = BACKENDS[self.backend](self, db, spec)
-                break
-            except RuntimeError as exc:
-                attempt += 1
-                if attempt > max_restarts:
-                    raise
-                backoff = restart_backoff_seconds(attempt)
-                reason = str(exc).splitlines()[0]
-                retry_log.append((attempt, backoff, reason))
-                logger.warning(
-                    "SPMD fit attempt %d failed (%s); restarting from "
-                    "checkpoint in %.3gs", attempt, exc, backoff,
-                )
-                time.sleep(backoff)
-            finally:
-                self._ckpt_spec = None
-                self._faults = None
+        self._active_options = opts
+        try:
+            while True:
+                self._ckpt_spec = ckpt_spec
+                if ckpt_spec is not None and attempt > 0:
+                    self._ckpt_spec = dc_replace(ckpt_spec, resume=True)
+                self._faults = opts.faults if attempt == 0 else None
+                try:
+                    run = BACKENDS[self.backend](self, db, spec)
+                    break
+                except RuntimeError as exc:
+                    attempt += 1
+                    if attempt > opts.max_restarts:
+                        raise
+                    backoff = restart_backoff_seconds(attempt)
+                    reason = str(exc).splitlines()[0]
+                    retry_log.append((attempt, backoff, reason))
+                    logger.warning(
+                        "SPMD fit attempt %d failed (%s); restarting from "
+                        "checkpoint in %.3gs", attempt, exc, backoff,
+                    )
+                    time.sleep(backoff)
+                finally:
+                    self._ckpt_spec = None
+                    self._faults = None
+        finally:
+            self._active_options = None
         if retry_log:
             run = dc_replace(
                 run, restarts=len(retry_log), retry_log=tuple(retry_log)
             )
             _surface_restarts(run)
-        if verify != "off":
+        if opts.verify != "off":
             # After the retry loop on purpose: a ConformanceError is a
             # *finding*, not a transient failure to restart through.
             allreduce = (
-                self.collectives.allreduce
-                if self.collectives is not None
+                opts.collectives.allreduce
+                if opts.collectives is not None
                 else CollectiveConfig().allreduce
             )
             run = _verified(
                 run, db, config=self.config, spec=self.spec,
-                kernels=self.kernels, allreduce=allreduce, verify=verify,
+                kernels=opts.kernels, allreduce=allreduce,
+                verify=opts.verify,
             )
         self.run_ = run
         self._db = db
@@ -706,13 +985,38 @@ class PAutoClass:
             raise NotFittedError("call fit() first")
         return self.run_.result.best.classification
 
-    def predict_proba(self, db: Database) -> np.ndarray:
-        wts, _ = membership(db, self.best_)
-        return wts
+    # -- inference (delegates to the Run's unified methods) ---------------
+
+    def _fitted_run(self) -> Run:
+        if self.run_ is None:
+            raise NotFittedError("call fit() first")
+        return self.run_
 
     def predict(self, db: Database) -> np.ndarray:
-        _, hard = membership(db, self.best_)
-        return hard
+        """Hard class assignment per item, ``(n_items,)`` int64."""
+        return self._fitted_run().predict(db)
+
+    def predict_proba(self, db: Database) -> np.ndarray:
+        """``(n_items, n_classes)`` class membership probabilities."""
+        return self._fitted_run().predict_proba(db)
+
+    def predict_logproba(self, db: Database) -> np.ndarray:
+        """``(n_items, n_classes)`` log posterior membership."""
+        return self._fitted_run().predict_logproba(db)
+
+    def score(self, db: Database) -> float:
+        """Mean per-item log evidence (sklearn's mixture ``score``)."""
+        return self._fitted_run().score(db)
+
+    def fitted(self, db: Database | None = None, *, summary=None):
+        """Servable :class:`repro.serve.FittedModel` of the last fit.
+
+        Defaults to the training database the model was fitted on.
+        """
+        run = self._fitted_run()
+        if db is None and summary is None:
+            db = self._db
+        return run.fitted(db, summary=summary)
 
     def report(self) -> str:
         if self._db is None:

@@ -4,8 +4,8 @@ Subcommands:
 
 * ``run`` — classify a ``.hd2``/``.db2`` database (or a synthetic one)
   sequentially or on a parallel backend, and print the report;
-* ``predict`` — classify a database with a previously stored results
-  file (no refitting);
+* ``predict`` — classify a database with a previously stored fitted
+  model artifact or results file (no refitting);
 * ``experiments`` — regenerate the paper's figures/claims;
 * ``synth`` — write a synthetic database to disk.
 
@@ -14,6 +14,8 @@ Examples::
     pautoclass synth --items 5000 --out /tmp/demo
     pautoclass run --data /tmp/demo --j-list 2,4,8 --seed 7
     pautoclass run --synthetic 5000 --backend sim --procs 8
+    pautoclass run --data /tmp/demo --save-model /tmp/model
+    pautoclass predict --model /tmp/model --data /tmp/demo --proba
     pautoclass experiments --which fig7 --scale 0.04
 """
 
@@ -94,9 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the search result as a JSON results file",
     )
     p_run.add_argument(
-        "--trace", action="store_true",
-        help="print the virtual-time schedule (sim backend only; "
-             "deprecated alias for --instrument full)",
+        "--save-model", metavar="PATH",
+        help="write the fitted model as a servable artifact "
+             "(PATH.json + PATH.npz; see docs/serving.md)",
     )
     p_run.add_argument(
         "--instrument", choices=INSTRUMENT_LEVELS, default="off",
@@ -145,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(
             "fig6", "fig7", "fig8", "t1", "t2",
             "a1", "a2", "a3", "a4", "a5", "b1", "obs", "fault", "split",
-            "all",
+            "serve", "all",
         ),
         default="all",
     )
@@ -153,10 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload scale factor (default from env or 0.04)")
 
     p_pred = sub.add_parser(
-        "predict", help="classify a database with a stored results file"
+        "predict",
+        help="classify a database with a stored model artifact or "
+             "results file",
     )
-    p_pred.add_argument("--results", required=True,
-                        help="results JSON written by run --save-results")
+    model_src = p_pred.add_mutually_exclusive_group(required=True)
+    model_src.add_argument(
+        "--model",
+        help="fitted model artifact written by run --save-model",
+    )
+    model_src.add_argument("--results",
+                           help="results JSON written by run --save-results")
     p_pred.add_argument("--data", required=True,
                         help="basename of a .hd2/.db2 pair to classify")
     p_pred.add_argument("--out", default=None,
@@ -187,10 +196,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_cycles=args.max_cycles,
     )
     instrument = args.instrument
-    if args.trace:
-        if args.backend != "sim":
-            raise SystemExit("--trace needs --backend sim")
-        instrument = "full"
     if args.obs_out and instrument == "off":
         raise SystemExit("--obs-out requires --instrument phases|full")
     fit_options = dict(
@@ -202,6 +207,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.verify != "off" and args.model_search:
         raise SystemExit("--verify does not apply to --model-search")
+    if args.save_model and args.model_search:
+        raise SystemExit("--save-model does not apply to --model-search")
     if args.checkpoint != "off" and args.checkpoint_dir is None:
         raise SystemExit(f"--checkpoint {args.checkpoint} needs --checkpoint-dir")
     if args.backend == "sequential":
@@ -236,6 +243,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             _write_rlog(db, run.result, args.report_out)
         if args.save_results:
             _save(run.result, db, args.save_results)
+        if args.save_model:
+            _save_model(run, db, args.save_model)
     else:
         procs = 1 if args.backend == "serial" else args.procs
         pac = PAutoClass(
@@ -265,7 +274,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             _write_rlog(db, run.result, args.report_out)
         if args.save_results:
             _save(run.result, db, args.save_results)
+        if args.save_model:
+            _save_model(run, db, args.save_model)
     return 0
+
+
+def _save_model(run, db, path: str) -> None:
+    json_path, npz_path = run.fitted(db).save(path)
+    print(f"\nfitted model written to {json_path} + {npz_path}")
 
 
 def _emit_obs(run, obs_out: str | None) -> None:
@@ -311,6 +327,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         fig7_speedup,
         fig8_scaleup,
         obs_phase_breakdown,
+        serve_throughput_demo,
         t1_profile,
         t2_linear_sequential,
     )
@@ -350,6 +367,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(fault_recovery_demo(scale).render(), end="\n\n")
     if which in ("split", "all"):
         print(split_group_scaling(scale).render(), end="\n\n")
+    if which in ("serve", "all"):
+        print(serve_throughput_demo(scale).render(), end="\n\n")
     return 0
 
 
@@ -365,20 +384,35 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 def _cmd_predict(args: argparse.Namespace) -> int:
     import io
 
-    from repro.engine.report import membership
-    from repro.engine.results_io import load_search_result
+    import numpy as np
+
+    from repro.serve.artifact import ArtifactError, FittedModel
+    from repro.serve.scoring import score_batch
 
     db = load_database(args.data)
-    search = load_search_result(args.results)
-    clf = search.best.classification
+    kernels = None
+    if args.model:
+        try:
+            model = FittedModel.load(args.model)
+        except ArtifactError as exc:
+            raise SystemExit(f"bad model artifact: {exc}") from None
+        clf = model.classification
+        kernels = model.kernels
+    else:
+        from repro.engine.results_io import load_search_result
+
+        search = load_search_result(args.results)
+        clf = search.best.classification
     if clf.spec.schema != db.schema:
         raise SystemExit(
-            "schema mismatch: the results file was fitted on different "
+            "schema mismatch: the model was fitted on different "
             "attributes than the given database"
         )
-    wts, hard = membership(db, clf)
+    scores = score_batch(db, clf, kernels=kernels)
+    hard = scores.labels
     buf = io.StringIO()
     if args.proba:
+        wts = np.exp(scores.log_proba)
         header = ["item", "class"] + [f"p{j}" for j in range(clf.n_classes)]
         buf.write(",".join(header) + "\n")
         for i in range(db.n_items):

@@ -26,6 +26,7 @@ from repro.harness.runner import (
     fig7_speedup,
     fig8_scaleup,
     obs_phase_breakdown,
+    serve_throughput_demo,
     split_group_scaling,
     t1_profile,
     t2_linear_sequential,
@@ -47,6 +48,7 @@ __all__ = [
     "fig7_speedup",
     "fig8_scaleup",
     "obs_phase_breakdown",
+    "serve_throughput_demo",
     "split_group_scaling",
     "t1_profile",
     "t2_linear_sequential",

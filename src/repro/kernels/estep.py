@@ -134,6 +134,51 @@ def fused_normalize_and_payload(
     return lj, payload
 
 
+def fused_log_posterior(
+    ws: Workspace, n_classes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize ``ws.log_joint`` rows *in log space*, in place.
+
+    The scoring-side counterpart of :func:`fused_normalize_and_payload`:
+    where the training E-step needs probabilities plus the reduction
+    payload, inference (:mod:`repro.serve`) needs the per-item log
+    posterior and the per-item log evidence.  Returns ``(log_post,
+    log_evidence)``:
+
+    * ``log_post`` is the log-joint buffer, now holding
+      ``log p(j | x_i)`` (each row log-sum-exps to 0);
+    * ``log_evidence`` (aliasing ``ws.row_b``) holds the per-item
+      ``log Σ_j exp(log pi_j + log p(x_i | theta_j))``.
+
+    Total-underflow rows follow the training-path convention: the
+    posterior is pinned to the exact uniform (``-log J``) and the
+    evidence is floored at ``LOG_FLOOR``, never ``-inf``.  Both outputs
+    alias pooled workspace buffers — copy before the next same-shape
+    E-step on this thread.
+    """
+    lj = ws.log_joint
+    n = lj.shape[0]
+    if n == 0:
+        return lj, ws.row_b[:0]
+    amax = lj.max(axis=1, out=ws.row_a)
+    finite = np.isfinite(amax)
+    all_finite = bool(finite.all())
+    if not all_finite:
+        amax[~finite] = 0.0
+    lj -= amax[:, None]
+    np.maximum(lj, LOG_FLOOR, out=lj)
+    u = np.exp(lj, out=ws.scratch)
+    z = u.sum(axis=1, out=ws.row_b)
+    log_z = np.log(z, out=ws.row_c)
+    lj -= log_z[:, None]
+    evidence = np.add(log_z, amax, out=ws.row_b)
+    if not all_finite:
+        bad = ~finite
+        lj[bad] = -np.log(n_classes)
+        evidence[bad] = LOG_FLOOR
+    return lj, evidence
+
+
 def fused_local_update_wts(
     db: Database,
     clf: Classification,

@@ -41,7 +41,11 @@ import time
 from dataclasses import dataclass
 
 #: Sites where the loops offer to fire faults, in program order.
-FAULT_SITES = ("init", "cycle")
+#: ``"init"``/``"cycle"`` are the training-loop boundaries; ``"batch"``
+#: is the serving-side boundary (:mod:`repro.serve.scorer` workers
+#: offer to fire before each scored batch, with ``cycle`` = the batch
+#: sequence number and ``rank`` = the worker index).
+FAULT_SITES = ("init", "cycle", "batch")
 
 #: Supported fault actions.
 FAULT_ACTIONS = ("kill", "exit", "hang", "delay")
@@ -68,7 +72,8 @@ class FaultSpec:
     site: str = "cycle"
     #: Fire on this try index (BIG_LOOP iteration).
     at_try: int = 0
-    #: Fire on this 1-based cycle within the try (ignored at site="init").
+    #: Fire on this 1-based cycle within the try (ignored at
+    #: site="init"; at site="batch" it is the 0-based batch number).
     at_cycle: int = 1
     #: Sleep for "hang"/"delay" actions.
     seconds: float = 0.25

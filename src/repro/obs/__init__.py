@@ -12,7 +12,9 @@ Layer map:
 * :mod:`repro.obs.recorder` — the hot-path recorder + ambient install;
 * :mod:`repro.obs.runtime`  — running SPMD programs under a recorder
   on any world (serial / threads / processes / sim);
-* :mod:`repro.obs.report`   — tables, speedup/efficiency, JSONL.
+* :mod:`repro.obs.report`   — tables, speedup/efficiency, JSONL;
+* :mod:`repro.obs.serve`    — serving-side metrics (queue depth, batch
+  histogram, latency, throughput) for :mod:`repro.serve`.
 
 Instrumented code does::
 
@@ -50,6 +52,7 @@ from repro.obs.recorder import (
     recording,
 )
 from repro.obs.runtime import build_run_record, recorded_pautoclass, run_recorded
+from repro.obs.serve import ServeMetrics
 
 __all__ = [
     "CLOCK_KINDS",
@@ -66,6 +69,7 @@ __all__ = [
     "RunRecorder",
     "SCHEMA_VERSION",
     "SchemaError",
+    "ServeMetrics",
     "build_run_record",
     "check_instrument",
     "current",

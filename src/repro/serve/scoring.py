@@ -1,0 +1,174 @@
+"""Allocation-free batch scoring of new items against a fitted mixture.
+
+The inference-side twin of the training E-step: one fused GEMM fills
+the pooled log-joint buffer (:mod:`repro.kernels`), one in-place pass
+normalizes it in log space (:func:`repro.kernels.estep.
+fused_log_posterior`), and only the requested outputs are copied out.
+``kernels="reference"`` swaps the GEMM for the per-term reference
+:func:`repro.engine.wts.compute_log_joint` — writing into the same
+pooled buffer — which is the differential axis the tests exercise:
+scoring the training database under the training run's kernel mode
+reproduces the run's final class map.
+
+All entry points are stateless functions over ``(db, clf)``; the
+object-shaped API lives on :class:`repro.serve.artifact.FittedModel`
+and :class:`repro.api.Run`, which delegate here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.kernels import config as kernel_config
+from repro.kernels.estep import fused_compute_log_joint, fused_log_posterior
+from repro.kernels.plan import get_plan
+from repro.kernels.workspace import get_workspace
+from repro.obs import recorder as obs
+from repro.util import workhooks
+
+if TYPE_CHECKING:
+    from repro.engine.classification import Classification
+
+
+@dataclass(frozen=True)
+class BatchScores:
+    """Everything one scoring pass produces, as fresh (owned) arrays."""
+
+    #: Hard class assignment, ``(n_items,)`` int64.
+    labels: np.ndarray
+    #: Log posterior membership, ``(n_items, n_classes)``; each row
+    #: log-sum-exps to 0.
+    log_proba: np.ndarray
+    #: Per-item log evidence ``log p(x_i)``, ``(n_items,)``.
+    log_evidence: np.ndarray
+
+    @property
+    def n_items(self) -> int:
+        return self.labels.shape[0]
+
+    def take(self, index: slice) -> "BatchScores":
+        """Row-slice view (how the Scorer splits a merged batch)."""
+        return BatchScores(
+            labels=self.labels[index],
+            log_proba=self.log_proba[index],
+            log_evidence=self.log_evidence[index],
+        )
+
+
+def check_schema(db: Database, clf: "Classification") -> None:
+    """Refuse to score items the model was not fitted for."""
+    if db.schema != clf.spec.schema:
+        raise ValueError(
+            "schema mismatch: the model was fitted on different "
+            "attributes than the given database"
+        )
+
+
+def score_batch(
+    db: Database,
+    clf: "Classification",
+    *,
+    kernels: str | None = None,
+) -> BatchScores:
+    """Score a batch of items in one allocation-free kernel pass.
+
+    The scratch space is this thread's pooled
+    :class:`~repro.kernels.workspace.Workspace` for the batch shape;
+    the returned arrays are copies, safe to hold indefinitely.
+    """
+    check_schema(db, clf)
+    mode = kernel_config.resolve(kernels)
+    n, j = db.n_items, clf.n_classes
+    # Price scoring like an E-step on the counted-work model (so the
+    # virtual CS-2 charges sharded bulk scoring realistically).
+    workhooks.report("wts", n, j, clf.spec.n_stats)
+    rec = obs.current()
+    rec.count("serve.batches")
+    rec.count("serve.items", n)
+    ws = get_workspace(n, j)
+    if mode == "fused":
+        plan = get_plan(db, clf.spec)
+        fused_compute_log_joint(
+            db, clf, ws.log_joint, plan=plan, scratch=ws.scratch
+        )
+    else:
+        from repro.engine.wts import compute_log_joint
+
+        compute_log_joint(db, clf, out=ws.log_joint)
+    log_post, log_evidence = fused_log_posterior(ws, j)
+    labels = np.argmax(log_post, axis=1) if n else np.empty(0, dtype=np.int64)
+    return BatchScores(
+        labels=np.ascontiguousarray(labels, dtype=np.int64),
+        log_proba=log_post.copy(),
+        log_evidence=log_evidence.copy(),
+    )
+
+
+def predict(
+    db: Database, clf: "Classification", *, kernels: str | None = None
+) -> np.ndarray:
+    """Hard class assignment per item, ``(n_items,)`` int64."""
+    return score_batch(db, clf, kernels=kernels).labels
+
+
+def predict_logproba(
+    db: Database, clf: "Classification", *, kernels: str | None = None
+) -> np.ndarray:
+    """``(n_items, n_classes)`` log posterior membership."""
+    return score_batch(db, clf, kernels=kernels).log_proba
+
+
+def predict_proba(
+    db: Database, clf: "Classification", *, kernels: str | None = None
+) -> np.ndarray:
+    """``(n_items, n_classes)`` posterior membership probabilities."""
+    out = score_batch(db, clf, kernels=kernels).log_proba
+    np.exp(out, out=out)
+    return out
+
+
+def score_samples(
+    db: Database, clf: "Classification", *, kernels: str | None = None
+) -> np.ndarray:
+    """Per-item log evidence ``log p(x_i)``, ``(n_items,)``."""
+    return score_batch(db, clf, kernels=kernels).log_evidence
+
+
+def score(
+    db: Database, clf: "Classification", *, kernels: str | None = None
+) -> float:
+    """Mean per-item log evidence (sklearn's mixture ``score``)."""
+    if db.n_items == 0:
+        raise ValueError("cannot score an empty database")
+    return float(score_batch(db, clf, kernels=kernels).log_evidence.mean())
+
+
+def concat_databases(blocks: list[Database] | tuple[Database, ...]) -> Database:
+    """Row-concatenate databases sharing a schema (the batching path).
+
+    Column arrays are concatenated directly — the inputs are already
+    normalized 1-D contiguous arrays, so no re-validation pass is paid
+    per batch.
+    """
+    if not blocks:
+        raise ValueError("concat_databases needs at least one block")
+    first = blocks[0]
+    if len(blocks) == 1:
+        return first
+    for b in blocks[1:]:
+        if b.schema != first.schema:
+            raise ValueError("cannot concatenate databases with different schemas")
+    cols = []
+    miss = []
+    for i in range(len(first.schema)):
+        c = np.concatenate([b.columns[i] for b in blocks])
+        m = np.concatenate([b.missing[i] for b in blocks])
+        c.setflags(write=False)
+        m.setflags(write=False)
+        cols.append(c)
+        miss.append(m)
+    return Database(first.schema, tuple(cols), tuple(miss))

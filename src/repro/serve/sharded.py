@@ -1,0 +1,114 @@
+"""Sharded bulk scoring: data-parallel prediction on every SPMD world.
+
+Huge offline batches get the same treatment the paper gives training
+data: block-partition the items over the ranks
+(:func:`repro.data.partition.block_partition` — identical bounds to the
+training-time partition), score each block with the allocation-free
+kernel path, and allgather the per-block outputs so every rank holds
+the full result.  There is no reduction — scoring is embarrassingly
+parallel — so the only collective is the final label allgather, and
+the sharded result is *identical* to the unsharded one (a tested
+invariant on all four worlds).
+
+The SPMD body :func:`sharded_score_rank` is a plain module-level
+function (the processes world pickles it into forked workers); the
+:func:`sharded_predict` / :func:`sharded_score_batch` drivers run it on
+``"serial"``, ``"threads"``, ``"processes"`` or ``"sim"`` (the virtual
+CS-2, which also prices what a scoring fleet would cost on the paper's
+hardware).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.data.partition import block_partition
+from repro.mpc.api import CollectiveConfig
+from repro.mpc.procworld import run_spmd_processes
+from repro.mpc.serial import SerialComm
+from repro.mpc.threadworld import run_spmd_threads
+from repro.serve.artifact import FittedModel
+from repro.serve.scoring import BatchScores, score_batch
+
+#: Worlds :func:`sharded_predict` accepts.
+SHARD_BACKENDS = ("serial", "threads", "processes", "sim")
+
+
+def sharded_score_rank(
+    comm, model: FittedModel, db: Database
+) -> BatchScores:
+    """SPMD body: score my block, allgather, return the *full* scores.
+
+    Every rank returns the complete :class:`BatchScores` for ``db`` —
+    the allgather-of-labels protocol, extended to all three outputs.
+    Blocks may be empty (more ranks than items); concatenation handles
+    the zero-row arrays.
+    """
+    local = block_partition(db, comm.size, comm.rank)
+    mine = score_batch(local, model.classification, kernels=model.kernels)
+    parts: list[BatchScores] = comm.allgather(mine)
+    return BatchScores(
+        labels=np.concatenate([p.labels for p in parts]),
+        log_proba=np.concatenate([p.log_proba for p in parts]),
+        log_evidence=np.concatenate([p.log_evidence for p in parts]),
+    )
+
+
+def sharded_score_batch(
+    model: FittedModel,
+    db: Database,
+    *,
+    backend: str = "threads",
+    n_processors: int = 4,
+    collectives: CollectiveConfig | None = None,
+) -> BatchScores:
+    """Score ``db`` data-parallel over ``n_processors`` ranks.
+
+    Returns rank 0's (complete) :class:`BatchScores`; all ranks hold
+    the same arrays by construction.
+    """
+    if backend not in SHARD_BACKENDS:
+        raise ValueError(f"backend {backend!r} not in {SHARD_BACKENDS}")
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    if backend == "serial":
+        if n_processors != 1:
+            raise ValueError("serial backend supports exactly 1 processor")
+        return sharded_score_rank(SerialComm(collectives), model, db)
+    if backend == "threads":
+        results = run_spmd_threads(
+            sharded_score_rank, n_processors, model, db,
+            collectives=collectives,
+        )
+        return results[0]
+    if backend == "processes":
+        results = run_spmd_processes(
+            sharded_score_rank, n_processors, model, db,
+            collectives=collectives,
+        )
+        return results[0]
+    # "sim": score on the virtual CS-2 (lazy import — simnet is heavy).
+    from repro.harness.runner import calibrated_machine
+    from repro.simnet.simworld import run_spmd_sim
+
+    sim = run_spmd_sim(
+        sharded_score_rank, n_processors, calibrated_machine(n_processors),
+        model, db, collectives=collectives, compute_mode="counted",
+    )
+    return sim.results[0]
+
+
+def sharded_predict(
+    model: FittedModel,
+    db: Database,
+    *,
+    backend: str = "threads",
+    n_processors: int = 4,
+    collectives: CollectiveConfig | None = None,
+) -> np.ndarray:
+    """Hard labels for ``db``, computed data-parallel (see module doc)."""
+    return sharded_score_batch(
+        model, db, backend=backend, n_processors=n_processors,
+        collectives=collectives,
+    ).labels

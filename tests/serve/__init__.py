@@ -1,0 +1,1 @@
+"""Tests for repro.serve — artifacts, scoring, Scorer, sharded."""

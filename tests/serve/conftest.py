@@ -1,0 +1,26 @@
+"""Shared serve fixtures: one small fitted run and its artifact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import AutoClass
+from repro.data.synth import make_paper_database
+from repro.serve.artifact import FittedModel
+
+
+@pytest.fixture(scope="session")
+def train_db():
+    return make_paper_database(400, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fitted_run(train_db):
+    return AutoClass(
+        start_j_list=(3,), max_n_tries=1, seed=7, max_cycles=20
+    ).fit(train_db)
+
+
+@pytest.fixture(scope="session")
+def model(fitted_run, train_db) -> FittedModel:
+    return FittedModel.from_run(fitted_run, train_db)

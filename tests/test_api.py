@@ -7,6 +7,7 @@ import repro
 from repro import (
     BACKENDS,
     AutoClass,
+    FitConfig,
     NotFittedError,
     PAutoClass,
     Run,
@@ -217,26 +218,15 @@ class TestSearchConfigIntegration:
 
 
 class TestTracing:
-    def test_trace_requires_sim_backend(self):
-        with pytest.raises(ValueError, match="sim"):
-            PAutoClass(backend="threads", trace=True)
-
-    def test_trace_is_deprecated_and_maps_to_full(self):
-        with pytest.warns(DeprecationWarning, match="instrument"):
-            pac = PAutoClass(backend="sim", trace=True)
-        assert pac.instrument == "full"
-
-    def test_trace_warns_exactly_once(self):
-        import warnings as warnings_mod
-
-        with warnings_mod.catch_warnings(record=True) as caught:
-            warnings_mod.simplefilter("always")
+    def test_trace_kwarg_removed_with_migration_hint(self):
+        with pytest.raises(TypeError, match="instrument='full'"):
             PAutoClass(backend="sim", trace=True)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "instrument='full'" in str(deprecations[0].message)
+
+    def test_trace_false_also_rejected(self):
+        # Any explicit value — not just truthy ones — names a removed
+        # keyword; dead call sites should be cleaned up, not kept.
+        with pytest.raises(TypeError, match="removed"):
+            PAutoClass(backend="sim", trace=False)
 
     def test_sim_instrument_full_produces_timeline(self, db):
         pac = PAutoClass(
@@ -252,15 +242,6 @@ class TestTracing:
         assert run.record.clock == "virtual"
         assert "virtual s" in run.report()
 
-    def test_deprecated_trace_still_produces_timeline(self, db):
-        with pytest.warns(DeprecationWarning):
-            pac = PAutoClass(
-                n_processors=2, backend="sim", trace=True,
-                start_j_list=(2,), max_n_tries=1, seed=1, max_cycles=5,
-            )
-        run = pac.fit(db)
-        assert run.timeline is not None
-
     def test_no_trace_by_default(self, db):
         pac = PAutoClass(
             n_processors=2, backend="sim",
@@ -269,3 +250,115 @@ class TestTracing:
         run = pac.fit(db)
         assert run.timeline is None
         assert run.record is None
+
+
+class TestFitConfig:
+    def test_defaults_validate(self):
+        opts = FitConfig()
+        assert opts.instrument == "off"
+        assert opts.kernels is None
+        assert opts.max_restarts == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"instrument": "loud"},
+            {"kernels": "simd"},
+            {"verify": "paranoid"},
+            {"checkpoint": "hourly"},
+            {"max_restarts": -1},
+            {"try_groups": 0},
+            {"try_groups": True},
+            {"try_groups": "many"},
+        ],
+    )
+    def test_bad_values_rejected_eagerly(self, kwargs):
+        with pytest.raises(ValueError):
+            FitConfig(**kwargs)
+
+    def test_merged_overrides_only_named_fields(self):
+        base = FitConfig(instrument="phases", kernels="fused")
+        out = base.merged(kernels="reference")
+        assert out.instrument == "phases"
+        assert out.kernels == "reference"
+        assert base.kernels == "fused"  # frozen: base untouched
+
+    def test_options_object_equals_bare_kwargs(self, db):
+        config = dict(start_j_list=(2,), max_n_tries=1, seed=5, max_cycles=8)
+        via_bare = AutoClass(kernels="reference", **config).fit(db)
+        via_opts = AutoClass(
+            options=FitConfig(kernels="reference"), **config
+        ).fit(db)
+        assert via_bare.kernels == via_opts.kernels == "reference"
+        assert via_bare.best.score == via_opts.best.score
+
+    def test_options_and_bare_kwargs_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            AutoClass(options=FitConfig(), instrument="phases")
+        with pytest.raises(ValueError, match="not both"):
+            PAutoClass(options=FitConfig(), kernels="fused")
+
+    def test_fit_options_and_bare_kwargs_conflict(self, db):
+        ac = AutoClass(start_j_list=(2,), max_n_tries=1, seed=5, max_cycles=8)
+        with pytest.raises(ValueError, match="not both"):
+            ac.fit(db, options=FitConfig(), verify="trace")
+
+    def test_options_must_be_fitconfig(self):
+        with pytest.raises(TypeError, match="FitConfig"):
+            AutoClass(options={"instrument": "phases"})
+
+    def test_autoclass_rejects_parallel_only_options(self):
+        with pytest.raises(ValueError, match="parallel-only"):
+            AutoClass(options=FitConfig(try_groups=2))
+        with pytest.raises(ValueError, match="parallel-only"):
+            AutoClass(options=FitConfig(collectives=__import__(
+                "repro.mpc.api", fromlist=["CollectiveConfig"]
+            ).CollectiveConfig()))
+
+    def test_fit_time_override_is_scoped_to_the_fit(self, db):
+        ac = AutoClass(start_j_list=(2,), max_n_tries=1, seed=5, max_cycles=8)
+        assert ac.instrument == "off"
+        run = ac.fit(db, options=FitConfig(instrument="phases"))
+        assert run.record is not None
+        assert ac.instrument == "off"  # override did not stick
+
+    def test_try_groups_range_checked_against_world(self):
+        with pytest.raises(ValueError, match="n_processors"):
+            PAutoClass(n_processors=2, try_groups=4)
+
+    def test_run_carries_kernels(self, db):
+        run = AutoClass(
+            kernels="reference", start_j_list=(2,), max_n_tries=1,
+            seed=5, max_cycles=8,
+        ).fit(db)
+        assert run.kernels == "reference"
+
+
+class TestUnifiedInference:
+    def test_same_api_on_model_run_and_artifact(self, db, fitted):
+        run = fitted.run_
+        model = fitted.fitted()
+        for obj in (fitted, run, model):
+            labels = obj.predict(db)
+            assert labels.shape == (db.n_items,)
+            assert np.allclose(obj.predict_proba(db).sum(axis=1), 1.0)
+            assert obj.predict_logproba(db).shape[0] == db.n_items
+            assert np.isfinite(obj.score(db))
+        assert np.array_equal(fitted.predict(db), model.predict(db))
+
+    def test_not_fitted_semantics(self, db):
+        for cls in (AutoClass, PAutoClass):
+            fresh = cls(start_j_list=(2,), max_n_tries=1, seed=5)
+            for method in ("predict", "predict_proba", "predict_logproba",
+                           "score", "fitted"):
+                with pytest.raises(NotFittedError):
+                    getattr(fresh, method)(db)
+
+    def test_pautoclass_fitted_defaults_to_training_db(self, db):
+        pac = PAutoClass(
+            n_processors=2, backend="threads",
+            start_j_list=(2,), max_n_tries=1, seed=5, max_cycles=8,
+        )
+        run = pac.fit(db)
+        model = pac.fitted()
+        assert np.array_equal(model.predict(db), run.predict(db))

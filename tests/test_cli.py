@@ -122,22 +122,83 @@ class TestNewFlags:
 
 
 class TestTraceFlag:
-    def test_trace_prints_timeline(self, capsys):
+    def test_trace_flag_removed(self, capsys):
+        # --trace was removed in favour of --instrument full; argparse
+        # now rejects it as an unknown option.
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "--synthetic", "80", "--j-list", "2",
+                 "--backend", "sim", "--procs", "2", "--trace"]
+            )
+        assert "--trace" in capsys.readouterr().err
+
+    def test_instrument_full_prints_timeline_on_sim(self, capsys):
         code = main(
             ["run", "--synthetic", "80", "--j-list", "2", "--seed", "2",
              "--max-cycles", "5", "--backend", "sim", "--procs", "2",
-             "--trace"]
+             "--instrument", "full"]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "timeline:" in out and "rank  0" in out
 
-    def test_trace_rejected_off_sim(self):
+
+class TestModelArtifactFlags:
+    def _fit_and_save(self, tmp_path):
+        base = tmp_path / "d"
+        main(["synth", "--items", "80", "--out", str(base), "--seed", "5"])
+        model = tmp_path / "model"
+        code = main(["run", "--data", str(base), "--j-list", "2", "--seed",
+                     "1", "--max-cycles", "8", "--save-model", str(model)])
+        assert code == 0
+        return base, model
+
+    def test_save_model_writes_artifact(self, tmp_path, capsys):
+        _, model = self._fit_and_save(tmp_path)
+        assert model.with_suffix(".json").exists()
+        assert model.with_suffix(".npz").exists()
+        assert "fitted model written to" in capsys.readouterr().out
+
+    def test_predict_from_model_artifact(self, tmp_path, capsys):
+        base, model = self._fit_and_save(tmp_path)
+        capsys.readouterr()
+        code = main(["predict", "--model", str(model), "--data", str(base)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("item,class")
+        assert len(out.strip().splitlines()) == 81  # header + 80 items
+
+    def test_model_and_results_mutually_exclusive(self, tmp_path):
+        base, model = self._fit_and_save(tmp_path)
         with pytest.raises(SystemExit):
-            main(
-                ["run", "--synthetic", "60", "--j-list", "2",
-                 "--backend", "threads", "--trace"]
-            )
+            main(["predict", "--model", str(model), "--results", str(model),
+                  "--data", str(base)])
+
+    def test_corrupt_artifact_is_clean_cli_error(self, tmp_path):
+        base, model = self._fit_and_save(tmp_path)
+        json_path = model.with_suffix(".json")
+        json_path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit, match="bad model artifact"):
+            main(["predict", "--model", str(model), "--data", str(base)])
+
+    def test_save_model_rejected_with_model_search(self, tmp_path):
+        with pytest.raises(SystemExit, match="model-search"):
+            main(["run", "--synthetic", "60", "--j-list", "2",
+                  "--model-search", "--save-model", str(tmp_path / "m")])
+
+    def test_save_model_on_parallel_backend(self, tmp_path):
+        model = tmp_path / "pm"
+        code = main(
+            ["run", "--synthetic", "90", "--j-list", "2", "--seed", "4",
+             "--max-cycles", "6", "--backend", "threads", "--procs", "2",
+             "--save-model", str(model)]
+        )
+        assert code == 0
+        from repro.serve import FittedModel
+
+        loaded = FittedModel.load(model)
+        assert loaded.backend == "threads"
+        assert loaded.n_processors == 2
 
 
 class TestInstrumentFlag:
