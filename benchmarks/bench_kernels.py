@@ -9,7 +9,7 @@ The E/M kernels are timed in both implementations (``"reference"``,
 the seed's per-term numpy path, and ``"fused"``, the
 :mod:`repro.kernels` layer), and :func:`test_fused_speedup_json`
 records a machine-readable before/after comparison in
-``benchmarks/out/BENCH_kernels.json`` (mirrored at the repo root).
+``benchmarks/out/BENCH_kernels.json``.
 """
 
 import json
@@ -122,9 +122,6 @@ def test_fused_speedup_json(state):
     out_dir.mkdir(exist_ok=True)
     payload = json.dumps(report, indent=2) + "\n"
     (out_dir / "BENCH_kernels.json").write_text(payload, encoding="utf-8")
-    (Path(__file__).parent.parent / "BENCH_kernels.json").write_text(
-        payload, encoding="utf-8"
-    )
     print(payload)
     assert report["combined"]["speedup"] >= 2.0, report["combined"]
 

@@ -7,7 +7,7 @@ tuples, J=8 classes).  This bench times ``base_cycle`` with the null
 recorder (``instrument="off"``, the process default) against the same
 loop with a phases-level :class:`repro.obs.recorder.Recorder`
 installed, and records the comparison in
-``benchmarks/out/BENCH_obs.json`` (mirrored at the repo root).
+``benchmarks/out/BENCH_obs.json``.
 
 At ``"phases"`` the per-cycle cost is six context-managed
 ``perf_counter`` pairs plus a few dict updates; the assertion below is
@@ -84,9 +84,6 @@ def test_phases_overhead_json(state):
     out_dir.mkdir(exist_ok=True)
     payload = json.dumps(report, indent=2) + "\n"
     (out_dir / "BENCH_obs.json").write_text(payload, encoding="utf-8")
-    (Path(__file__).parent.parent / "BENCH_obs.json").write_text(
-        payload, encoding="utf-8"
-    )
     print(payload)
     assert overhead < OVERHEAD_BAR, report
 

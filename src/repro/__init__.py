@@ -62,6 +62,9 @@ from repro.data import (
     Database,
     DiscreteAttribute,
     RealAttribute,
+    ShardCorruptionError,
+    ShardedDatabase,
+    ShardFormatError,
     make_mixed_database,
     make_paper_database,
     make_separable_blobs,
@@ -100,6 +103,9 @@ __all__ = [
     "ScorerConfig",
     "SearchConfig",
     "SearchResult",
+    "ShardCorruptionError",
+    "ShardFormatError",
+    "ShardedDatabase",
     "__version__",
     "adjusted_rand_index",
     "confusion_matrix",

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.ckpt.manager import CheckpointSpec, check_policy
 from repro.data.database import Database
+from repro.data.shards import is_streamable
 from repro.engine.classification import Classification
 from repro.engine.report import classification_report
 from repro.engine.search import SearchConfig, SearchResult, run_search
@@ -130,6 +131,44 @@ def check_verify(verify: str, config: SearchConfig) -> None:
             "verify='trace'/'strict' needs a deterministic search; "
             "max_seconds makes the try count wall-clock-dependent and "
             "no shadow run could be expected to conform"
+        )
+
+
+def _streamed_fallback_config(
+    config: SearchConfig, db, init_method_defaulted: bool
+) -> SearchConfig:
+    """Effective search config for a fit over ``db``.
+
+    A bare streamed fit cannot run the (default) ``"seeded"``
+    initializer — it needs the full database in memory — so when the
+    caller never chose an ``init_method``, fall back to AutoClass's
+    random-assignment start, exactly as
+    :func:`repro.parallel.driver.run_pautoclass_partitioned` does.  An
+    *explicit* ``init_method="seeded"`` still fails loudly downstream.
+    """
+    if (
+        init_method_defaulted
+        and config.init_method == "seeded"
+        and is_streamable(db)
+    ):
+        return dc_replace(config, init_method="sharp")
+    return config
+
+
+def check_streamed_verify(db, verify: str) -> None:
+    """Refuse the conformance shadow run over streamed (sharded) data.
+
+    The trace harness replays per-cycle weight matrices in memory; a
+    streamed fit never materializes them.  Streamed-vs-in-memory
+    agreement has its own differential tests instead (``tests/stream``).
+    """
+    if verify != "off" and is_streamable(db):
+        raise ValueError(
+            "verify='trace'/'strict' replays the search through the "
+            "in-memory trace harness and cannot stream a "
+            "ShardedDatabase; fit with verify='off' (streamed fits are "
+            "covered by the streamed==in-memory differential tests) or "
+            "materialize() the data"
         )
 
 
@@ -616,6 +655,7 @@ class AutoClass:
         )
         _check_sequential(self.options)
         self.spec = spec
+        self._init_method_defaulted = "init_method" not in config
         self.config = SearchConfig(**config)
         self.result_: SearchResult | None = None
         self.run_: Run | None = None
@@ -668,7 +708,11 @@ class AutoClass:
             resume=resume, max_restarts=max_restarts, verify=verify,
         )
         _check_sequential(opts)
-        check_verify(opts.verify, self.config)
+        config = _streamed_fallback_config(
+            self.config, db, self._init_method_defaulted
+        )
+        check_verify(opts.verify, config)
+        check_streamed_verify(db, opts.verify)
         ckpt_spec = _resolve_checkpoint(
             opts.checkpoint, opts.checkpoint_dir, opts.resume
         )
@@ -687,14 +731,14 @@ class AutoClass:
                     record = None
                     if opts.instrument == "off":
                         result = run_search(
-                            db, self.config, self.spec,
+                            db, config, self.spec,
                             checkpointer=checkpointer, kernels=opts.kernels,
                         )
                     else:
                         rec = Recorder(level=opts.instrument)
                         with recording(rec):
                             result = run_search(
-                                db, self.config, self.spec,
+                                db, config, self.spec,
                                 checkpointer=checkpointer,
                                 kernels=opts.kernels,
                             )
@@ -732,7 +776,7 @@ class AutoClass:
             # After the retry loop on purpose: a ConformanceError is a
             # *finding*, not a transient failure to restart through.
             run = _verified(
-                run, db, config=self.config, spec=self.spec,
+                run, db, config=config, spec=self.spec,
                 kernels=opts.kernels, allreduce="recursive_doubling",
                 verify=opts.verify,
             )
@@ -785,6 +829,13 @@ class AutoClass:
         """AutoClass-style report of the best classification."""
         if self._db is None:
             raise NotFittedError("call fit() first")
+        if is_streamable(self._db):
+            raise ValueError(
+                "the classification report recomputes full-database "
+                "memberships in memory and cannot stream a "
+                "ShardedDatabase; pass materialize()d data to fit() if "
+                "the report is needed"
+            )
         return classification_report(self._db, self.best_)
 
 
@@ -847,6 +898,7 @@ class PAutoClass:
         self.n_processors = n_processors
         self.backend = backend
         self.spec = spec
+        self._init_method_defaulted = "init_method" not in config
         self.config = SearchConfig(**config)
         self.run_: Run | None = None
         self._db: Database | None = None
@@ -919,7 +971,11 @@ class PAutoClass:
             verify=verify,
         )
         _check_try_groups(opts.try_groups, self.n_processors)
-        check_verify(opts.verify, self.config)
+        config = _streamed_fallback_config(
+            self.config, db, self._init_method_defaulted
+        )
+        check_verify(opts.verify, config)
+        check_streamed_verify(db, opts.verify)
         ckpt_spec = _resolve_checkpoint(
             opts.checkpoint, opts.checkpoint_dir, opts.resume
         )
@@ -931,6 +987,9 @@ class PAutoClass:
         attempt = 0
         retry_log: list[tuple[int, float, str]] = []
         self._active_options = opts
+        # Backend runners read the search config off the model; surface
+        # the streamed fallback to them for the duration of the fit.
+        saved_config, self.config = self.config, config
         try:
             while True:
                 self._ckpt_spec = ckpt_spec
@@ -956,6 +1015,7 @@ class PAutoClass:
                     self._ckpt_spec = None
                     self._faults = None
         finally:
+            self.config = saved_config
             self._active_options = None
         if retry_log:
             run = dc_replace(
@@ -971,7 +1031,7 @@ class PAutoClass:
                 else CollectiveConfig().allreduce
             )
             run = _verified(
-                run, db, config=self.config, spec=self.spec,
+                run, db, config=config, spec=self.spec,
                 kernels=opts.kernels, allreduce=allreduce,
                 verify=opts.verify,
             )

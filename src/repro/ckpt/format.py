@@ -67,34 +67,38 @@ class CheckpointError(RuntimeError):
 # resume-safety key
 
 def checkpoint_key(
-    config: SearchConfig, spec: ModelSpec, n_total_items: int
+    config: SearchConfig, spec: ModelSpec, n_total_items: int,
+    data_digest: str | None = None,
 ) -> str:
     """Digest identifying which search a checkpoint belongs to.
 
     Covers every input that determines the search trajectory: the full
     :class:`SearchConfig`, the model form (term models over attribute
     indices), and the global item count.  World size is excluded on
-    purpose — resume may change it.
+    purpose — resume may change it.  ``data_digest`` — the shard
+    manifest digest of a streamed fit — folds the dataset identity in,
+    so a resume against different shards is refused; ``None`` (plain
+    in-memory fits) leaves the key unchanged from earlier versions.
     """
     spec_lines = [
         f"{term.spec_name}:{','.join(map(str, term.attribute_indices))}"
         for term in spec.terms
     ]
-    blob = json.dumps(
-        {
-            "start_j_list": list(config.start_j_list),
-            "max_n_tries": config.max_n_tries,
-            "rel_delta": config.rel_delta,
-            "n_consecutive": config.n_consecutive,
-            "max_cycles": config.max_cycles,
-            "init_method": config.init_method,
-            "seed": config.seed,
-            "duplicate_eps": config.duplicate_eps,
-            "spec": spec_lines,
-            "n_total_items": n_total_items,
-        },
-        sort_keys=True,
-    )
+    key_fields = {
+        "start_j_list": list(config.start_j_list),
+        "max_n_tries": config.max_n_tries,
+        "rel_delta": config.rel_delta,
+        "n_consecutive": config.n_consecutive,
+        "max_cycles": config.max_cycles,
+        "init_method": config.init_method,
+        "seed": config.seed,
+        "duplicate_eps": config.duplicate_eps,
+        "spec": spec_lines,
+        "n_total_items": n_total_items,
+    }
+    if data_digest is not None:
+        key_fields["data_digest"] = data_digest
+    blob = json.dumps(key_fields, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

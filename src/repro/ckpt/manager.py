@@ -131,10 +131,18 @@ class Checkpointer:
         return self.rank == 0
 
     def bind(
-        self, config: SearchConfig, spec: ModelSpec, n_total_items: int
+        self, config: SearchConfig, spec: ModelSpec, n_total_items: int,
+        data_digest: str | None = None,
     ) -> None:
-        """Fix the resume-safety key for this search (call before use)."""
-        self._key = checkpoint_key(config, spec, n_total_items)
+        """Fix the resume-safety key for this search (call before use).
+
+        ``data_digest`` (streamed fits: the shard manifest digest)
+        keys the checkpoint to the dataset as well, so resuming a
+        streamed search against different shards is refused.
+        """
+        self._key = checkpoint_key(
+            config, spec, n_total_items, data_digest=data_digest
+        )
 
     def _require_key(self) -> str:
         if self._key is None:

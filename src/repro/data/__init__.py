@@ -10,7 +10,10 @@ file (``.db2``).  This package reimplements that substrate:
 * :mod:`repro.data.synth` — the paper's synthetic workloads,
 * :mod:`repro.data.io` — ``.hd2``/``.db2``-style text round-trip,
 * :mod:`repro.data.partition` — the block partitioning P-AutoClass uses
-  to split items over ranks.
+  to split items over ranks,
+* :mod:`repro.data.shards` — out-of-core sharded storage
+  (:class:`~repro.data.shards.ShardedDatabase`) for bounded-memory
+  streamed fits and scoring.
 """
 
 from repro.data.attributes import (
@@ -20,6 +23,11 @@ from repro.data.attributes import (
 )
 from repro.data.database import Database
 from repro.data.partition import block_partition, partition_bounds
+from repro.data.shards import (
+    ShardCorruptionError,
+    ShardedDatabase,
+    ShardFormatError,
+)
 from repro.data.synth import (
     make_mixed_database,
     make_paper_database,
@@ -31,6 +39,9 @@ __all__ = [
     "Database",
     "DiscreteAttribute",
     "RealAttribute",
+    "ShardCorruptionError",
+    "ShardFormatError",
+    "ShardedDatabase",
     "block_partition",
     "make_mixed_database",
     "make_paper_database",

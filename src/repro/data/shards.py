@@ -1,0 +1,666 @@
+"""Out-of-core sharded databases: bounded-memory streaming over big data.
+
+Every in-memory :class:`~repro.data.database.Database` caps the
+reachable problem size at RAM; the paper's 100K-tuple workload fits,
+the ROADMAP's "millions of users" does not.  A
+:class:`ShardedDatabase` keeps the items on disk as fixed-size
+**shards** (``.npy`` pairs or one ``.npz`` per shard, column-major so a
+chunk's columns are contiguous views) described by a ``manifest.json``
+carrying the schema, per-shard row counts and sha256 digests, and
+streams them through the E/M hot path in **chunks**:
+
+* at most :data:`MAX_RESIDENT_SHARDS` (2) shards are resident at a
+  time — the one being consumed and the next one, which a single
+  prefetch thread loads (and digest-verifies) in the background while
+  the current shard's chunks compute (double buffering);
+* ``.npy`` shards are memory-mapped, so a "resident" shard costs page
+  cache, not heap — the heap footprint of a streamed pass is O(chunk);
+* every shard file is verified against its manifest sha256 the first
+  time it is loaded; a mismatch raises :class:`ShardCorruptionError`
+  naming the shard file.
+
+:meth:`ShardedDatabase.block` returns a view over this rank's rows
+under exactly the :func:`repro.data.partition.partition_bounds` rule,
+so per-rank shard ownership lines up with the in-memory block
+partition and the two Allreduce cut points see identical payload
+layouts (see :mod:`repro.kernels.stream`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.attributes import (
+    AttributeSet,
+    DiscreteAttribute,
+    RealAttribute,
+)
+from repro.data.database import Database
+from repro.data.partition import partition_bounds
+
+#: Name of the manifest file inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+
+#: On-disk layout version (bumped on incompatible changes).
+SHARD_FORMAT_VERSION = 1
+
+#: Supported shard storage formats.
+SHARD_FORMATS = ("npy", "npz")
+
+#: Default rows per shard.
+DEFAULT_SHARD_ITEMS = 8192
+
+#: Hard cap on simultaneously resident shards per view (the one being
+#: consumed plus the prefetched next one).
+MAX_RESIDENT_SHARDS = 2
+
+
+class ShardCorruptionError(RuntimeError):
+    """A shard file's bytes do not match its manifest sha256."""
+
+
+class ShardFormatError(ValueError):
+    """Malformed or incompatible shard directory contents."""
+
+
+def is_streamable(obj) -> bool:
+    """True for data that must be consumed through ``iter_chunks``."""
+    return isinstance(obj, ShardedDatabase)
+
+
+def as_chunk_iterable(data):
+    """Uniform chunk iteration: a plain Database is one chunk."""
+    if is_streamable(data):
+        return data.iter_chunks()
+    return iter((data,))
+
+
+# ---------------------------------------------------------------------------
+# schema <-> manifest codec
+
+
+def _attr_to_dict(attr) -> dict:
+    if isinstance(attr, RealAttribute):
+        return {"kind": "real", "name": attr.name, "error": attr.error}
+    assert isinstance(attr, DiscreteAttribute)
+    return {
+        "kind": "discrete",
+        "name": attr.name,
+        "arity": attr.arity,
+        "symbols": list(attr.symbols),
+    }
+
+
+def _attr_from_dict(d: dict):
+    kind = d.get("kind")
+    if kind == "real":
+        return RealAttribute(d["name"], error=float(d["error"]))
+    if kind == "discrete":
+        return DiscreteAttribute(
+            d["name"], arity=int(d["arity"]), symbols=tuple(d["symbols"])
+        )
+    raise ShardFormatError(f"unknown attribute kind {kind!r} in manifest")
+
+
+def _canonical_json(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def manifest_digest_of(manifest: dict) -> str:
+    """sha256 over the canonical manifest body (``digest`` key excluded)."""
+    body = {k: v for k, v in manifest.items() if k != "digest"}
+    return hashlib.sha256(_canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def _sha256_file(path: Path) -> str:
+    h = hashlib.sha256()
+    with path.open("rb") as f:
+        for block in iter(lambda: f.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+class _DigestLedger:
+    """Which shard indices were already verified, shared across views."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seen: set[int] = set()
+
+    def covers(self, index: int) -> bool:
+        with self._lock:
+            return index in self._seen
+
+    def add(self, index: int) -> None:
+        with self._lock:
+            self._seen.add(index)
+
+
+class _Resident:
+    """One loaded shard: its column-major arrays plus cached chunk views."""
+
+    __slots__ = ("real", "disc", "chunks")
+
+    def __init__(self, real: np.ndarray, disc: np.ndarray) -> None:
+        self.real = real
+        self.disc = disc
+        #: (local_lo, local_hi) -> chunk Database.  Reusing the same
+        #: Database object while the shard stays resident lets the
+        #: identity-keyed KernelPlan cache hit across EM cycles.
+        self.chunks: dict[tuple[int, int], Database] = {}
+
+
+class ShardedDatabase:
+    """A database stored as digest-verified shards, streamed in chunks.
+
+    Build one with :meth:`from_database` (sharding an in-memory
+    database to a directory) or :meth:`open` (attaching to an existing
+    directory); neither loads item data.  :meth:`iter_chunks` yields
+    ordinary :class:`~repro.data.database.Database` chunks whose
+    columns are zero-copy views into the resident shard, so a full
+    pass over N items keeps only O(chunk) on the heap.
+
+    Instances compare data by :attr:`manifest_digest` and are
+    picklable (the receiving process re-opens the directory lazily),
+    which is how the processes world ships per-rank views to forked
+    workers.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        manifest: dict,
+        schema: AttributeSet,
+        *,
+        lo: int,
+        hi: int,
+        chunk_items: int,
+        ledger: _DigestLedger | None = None,
+        npy_meta: dict[str, tuple] | None = None,
+    ) -> None:
+        self._path = Path(path)
+        self._manifest = manifest
+        self.schema = schema
+        self._lo = int(lo)
+        self._hi = int(hi)
+        self.chunk_items = int(chunk_items)
+        if self.chunk_items < 1:
+            raise ValueError(
+                f"chunk_items must be >= 1, got {self.chunk_items}"
+            )
+        sizes = [int(s["n_items"]) for s in manifest["shards"]]
+        self._offsets = np.concatenate(([0], np.cumsum(sizes, dtype=np.int64)))
+        self._real_idx = schema.real_indices
+        self._disc_idx = schema.discrete_indices
+        self._ledger = ledger if ledger is not None else _DigestLedger()
+        #: file name -> parsed .npy header (shape, fortran, dtype,
+        #: data offset), shared across views like the ledger.
+        self._npy_meta = npy_meta if npy_meta is not None else {}
+        self._lock = threading.Lock()
+        self._resident: OrderedDict[int, _Resident] = OrderedDict()
+        self._pending: dict[int, Future] = {}
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def from_database(
+        db: Database,
+        directory: str | Path,
+        *,
+        shard_items: int = DEFAULT_SHARD_ITEMS,
+        chunk_items: int | None = None,
+        fmt: str = "npy",
+    ) -> "ShardedDatabase":
+        """Shard an in-memory database into ``directory``.
+
+        ``shard_items`` is the on-disk unit (rows per shard file);
+        ``chunk_items`` the default compute unit for
+        :meth:`iter_chunks` (defaults to ``shard_items``).  ``fmt``
+        selects ``"npy"`` (two memory-mappable files per shard, the
+        default) or ``"npz"`` (one compressed archive per shard).
+        """
+        if shard_items < 1:
+            raise ValueError(f"shard_items must be >= 1, got {shard_items}")
+        if fmt not in SHARD_FORMATS:
+            raise ValueError(f"fmt {fmt!r} not in {SHARD_FORMATS}")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = directory / MANIFEST_NAME
+        if manifest_path.exists():
+            raise FileExistsError(
+                f"{manifest_path} already exists; refusing to overwrite "
+                "an existing shard directory"
+            )
+        real_idx = db.schema.real_indices
+        disc_idx = db.schema.discrete_indices
+        shards = []
+        for k, lo in enumerate(range(0, db.n_items, shard_items)):
+            hi = min(lo + shard_items, db.n_items)
+            # Column-major (n_attrs_of_kind, n_rows): a column chunk is
+            # a contiguous row slice, so streamed reads are zero-copy.
+            real = np.ascontiguousarray(
+                np.stack([db.columns[i][lo:hi] for i in real_idx])
+                if real_idx else np.empty((0, hi - lo), dtype=np.float64)
+            )
+            disc = np.ascontiguousarray(
+                np.stack([db.columns[i][lo:hi] for i in disc_idx])
+                if disc_idx else np.empty((0, hi - lo), dtype=np.int64)
+            )
+            if fmt == "npy":
+                files = {}
+                for part, arr in (("real", real), ("disc", disc)):
+                    name = f"shard_{k:05d}.{part}.npy"
+                    np.save(directory / name, arr)
+                    files[part] = {
+                        "name": name,
+                        "sha256": _sha256_file(directory / name),
+                    }
+            else:
+                name = f"shard_{k:05d}.npz"
+                np.savez_compressed(directory / name, real=real, disc=disc)
+                digest = _sha256_file(directory / name)
+                files = {
+                    "real": {"name": name, "sha256": digest},
+                    "disc": {"name": name, "sha256": digest},
+                }
+            shards.append({"index": k, "n_items": hi - lo, "files": files})
+        manifest = {
+            "format_version": SHARD_FORMAT_VERSION,
+            "format": fmt,
+            "n_items": db.n_items,
+            "shard_items": int(shard_items),
+            "chunk_items": int(chunk_items or shard_items),
+            "schema": [_attr_to_dict(a) for a in db.schema],
+            "missing_any": [bool(m.any()) for m in db.missing],
+            "shards": shards,
+        }
+        manifest["digest"] = manifest_digest_of(manifest)
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return ShardedDatabase.open(directory, chunk_items=chunk_items)
+
+    @staticmethod
+    def open(
+        directory: str | Path, *, chunk_items: int | None = None
+    ) -> "ShardedDatabase":
+        """Attach to a shard directory (verifies the manifest digest)."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ShardFormatError(f"no {MANIFEST_NAME} in {directory}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ShardFormatError(f"unreadable {manifest_path}: {exc}") from exc
+        version = manifest.get("format_version")
+        if version != SHARD_FORMAT_VERSION:
+            raise ShardFormatError(
+                f"{manifest_path}: format_version {version!r} != "
+                f"{SHARD_FORMAT_VERSION}"
+            )
+        if manifest.get("digest") != manifest_digest_of(manifest):
+            raise ShardCorruptionError(
+                f"{manifest_path}: manifest digest mismatch (edited or "
+                "corrupted manifest)"
+            )
+        schema = AttributeSet(
+            tuple(_attr_from_dict(d) for d in manifest["schema"])
+        )
+        return ShardedDatabase(
+            directory,
+            manifest,
+            schema,
+            lo=0,
+            hi=int(manifest["n_items"]),
+            chunk_items=chunk_items or int(manifest["chunk_items"]),
+        )
+
+    # -- Database-alike surface -------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        return self._hi - self._lo
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.schema)
+
+    def __len__(self) -> int:
+        return self.n_items
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def manifest_digest(self) -> str:
+        """sha256 of the canonical manifest — the identity of the data."""
+        return self._manifest["digest"]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._manifest["shards"])
+
+    @property
+    def shard_items(self) -> int:
+        return int(self._manifest["shard_items"])
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """This view's ``[lo, hi)`` row range of the full item space."""
+        return self._lo, self._hi
+
+    @property
+    def base_n_items(self) -> int:
+        """Total items of the underlying directory (ignoring the view)."""
+        return int(self._manifest["n_items"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedDatabase({str(self._path)!r}, items=[{self._lo}:"
+            f"{self._hi}) of {self.base_n_items}, shards={self.n_shards}, "
+            f"chunk_items={self.chunk_items})"
+        )
+
+    def _view(self, lo: int, hi: int) -> "ShardedDatabase":
+        return ShardedDatabase(
+            self._path,
+            self._manifest,
+            self.schema,
+            lo=lo,
+            hi=hi,
+            chunk_items=self.chunk_items,
+            ledger=self._ledger,
+            npy_meta=self._npy_meta,
+        )
+
+    def block(self, n_ranks: int, rank: int) -> "ShardedDatabase":
+        """This rank's block view — the balanced
+        :func:`~repro.data.partition.partition_bounds` rule, so streamed
+        per-rank ownership lines up row-for-row with the in-memory
+        ``block_partition``."""
+        lo, hi = partition_bounds(self.n_items, n_ranks, rank)
+        return self._view(self._lo + lo, self._lo + hi)
+
+    def with_chunk_items(self, chunk_items: int) -> "ShardedDatabase":
+        """Same view, different default chunk size."""
+        view = self._view(self._lo, self._hi)
+        view.chunk_items = int(chunk_items)
+        if view.chunk_items < 1:
+            raise ValueError(f"chunk_items must be >= 1, got {chunk_items}")
+        return view
+
+    # -- shard residency ---------------------------------------------------
+
+    def _mmap_npy(self, path: Path) -> np.ndarray:
+        """Memory-map a ``.npy`` shard file, caching its parsed header.
+
+        ``np.load(mmap_mode="r")`` re-reads and re-parses the npy
+        header on every call; a long streamed fit re-maps the same
+        few shard files once per EM pass, so the header round-trip
+        becomes the dominant cost of a (page-cache-warm) load.  Shard
+        files are immutable, so the header is parsed once per file
+        and the array re-mapped directly from the cached geometry.
+        """
+        meta = self._npy_meta.get(path.name)
+        if meta is None:
+            with path.open("rb") as f:
+                version = np.lib.format.read_magic(f)
+                if version == (1, 0):
+                    shape, fortran, dtype = (
+                        np.lib.format.read_array_header_1_0(f)
+                    )
+                elif version == (2, 0):
+                    shape, fortran, dtype = (
+                        np.lib.format.read_array_header_2_0(f)
+                    )
+                else:  # an exotic header version: let numpy handle it
+                    return np.load(path, mmap_mode="r")
+                offset = f.tell()
+            meta = (shape, fortran, dtype, offset)
+            self._npy_meta[path.name] = meta
+        shape, fortran, dtype, offset = meta
+        return np.memmap(
+            path, dtype=dtype, mode="r", shape=shape, offset=offset,
+            order="F" if fortran else "C",
+        )
+
+    def _load_shard(self, k: int) -> _Resident:
+        info = self._manifest["shards"][k]
+        fmt = self._manifest["format"]
+        if not self._ledger.covers(k):
+            seen: set[str] = set()
+            for part in ("real", "disc"):
+                f = info["files"][part]
+                if f["name"] in seen:
+                    continue
+                seen.add(f["name"])
+                path = self._path / f["name"]
+                if not path.exists():
+                    raise ShardCorruptionError(
+                        f"shard {k}: file {f['name']} is missing from "
+                        f"{self._path}"
+                    )
+                digest = _sha256_file(path)
+                if digest != f["sha256"]:
+                    raise ShardCorruptionError(
+                        f"shard {k}: file {f['name']} sha256 {digest[:12]}… "
+                        f"does not match the manifest ({f['sha256'][:12]}…); "
+                        "the shard is corrupted or was modified after "
+                        "sharding"
+                    )
+            self._ledger.add(k)
+        if fmt == "npy":
+            real = self._mmap_npy(self._path / info["files"]["real"]["name"])
+            disc = self._mmap_npy(self._path / info["files"]["disc"]["name"])
+        else:
+            with np.load(self._path / info["files"]["real"]["name"]) as z:
+                real = z["real"]
+                disc = z["disc"]
+            real.setflags(write=False)
+            disc.setflags(write=False)
+        n = int(info["n_items"])
+        if real.shape != (len(self._real_idx), n) or disc.shape != (
+            len(self._disc_idx), n,
+        ):
+            raise ShardCorruptionError(
+                f"shard {k}: array shapes {real.shape}/{disc.shape} do not "
+                f"match the manifest ({len(self._real_idx)}/"
+                f"{len(self._disc_idx)} attributes x {n} items)"
+            )
+        return _Resident(real, disc)
+
+    def _get_shard(self, k: int) -> _Resident:
+        with self._lock:
+            entry = self._resident.get(k)
+            if entry is not None:
+                self._resident.move_to_end(k)
+                return entry
+            fut = self._pending.pop(k, None)
+        if fut is not None and fut.done():
+            entry = fut.result()
+        else:
+            # A pending prefetch that has not finished is never worth
+            # blocking on: the worker thread is starved for the GIL
+            # while the E/M kernels run, so ``fut.result()`` can stall
+            # for a whole switch interval.  Cancel it if it has not
+            # started (else let it finish and discard the duplicate)
+            # and load inline — a memory-mapped load is microseconds.
+            if fut is not None:
+                fut.cancel()
+            entry = self._load_shard(k)
+        with self._lock:
+            self._resident[k] = entry
+            self._resident.move_to_end(k)
+            while len(self._resident) > MAX_RESIDENT_SHARDS:
+                self._resident.popitem(last=False)
+        return entry
+
+    def _prefetch(self, k: int) -> None:
+        with self._lock:
+            if k in self._resident or k in self._pending:
+                return
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="shard-prefetch"
+                )
+            self._pending[k] = self._executor.submit(self._load_shard, k)
+
+    def resident_shards(self) -> tuple[int, ...]:
+        """Currently resident shard indices (oldest first; for tests)."""
+        with self._lock:
+            return tuple(self._resident)
+
+    def close(self) -> None:
+        """Drop resident shards and stop the prefetch thread."""
+        with self._lock:
+            self._resident.clear()
+            self._pending.clear()
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    # -- chunk iteration ---------------------------------------------------
+
+    def _chunk_db(self, entry: _Resident, k: int, lo: int, hi: int) -> Database:
+        a = lo - int(self._offsets[k])
+        b = hi - int(self._offsets[k])
+        db = entry.chunks.get((a, b))
+        if db is not None:
+            return db
+        cols: list[np.ndarray] = [None] * len(self.schema)  # type: ignore
+        miss: list[np.ndarray] = [None] * len(self.schema)  # type: ignore
+        for pos, i in enumerate(self._real_idx):
+            col = entry.real[pos, a:b]
+            m = np.isnan(col)
+            m.setflags(write=False)
+            cols[i], miss[i] = col, m
+        for pos, i in enumerate(self._disc_idx):
+            col = entry.disc[pos, a:b]
+            m = col < 0
+            m.setflags(write=False)
+            cols[i], miss[i] = col, m
+        db = Database(self.schema, tuple(cols), tuple(miss))
+        entry.chunks[(a, b)] = db
+        return db
+
+    def iter_chunks(
+        self, chunk_items: int | None = None
+    ) -> Iterator[Database]:
+        """Stream the view's rows as bounded Database chunks.
+
+        Chunks are clipped at shard boundaries (a chunk never spans two
+        shards), so every yielded Database is a zero-copy view into a
+        single resident shard.  While shard ``k`` streams, shard
+        ``k+1`` is prefetched in the background whenever loading it is
+        expensive (first-touch digest verification, npz decompression);
+        already-verified ``.npy`` shards re-map inline.
+        """
+        step = int(chunk_items or self.chunk_items)
+        if step < 1:
+            raise ValueError(f"chunk_items must be >= 1, got {step}")
+        offsets = self._offsets
+        pos = self._lo
+        while pos < self._hi:
+            k = int(np.searchsorted(offsets, pos, side="right")) - 1
+            shard_end = int(offsets[k + 1])
+            if (
+                k + 1 < self.n_shards
+                and shard_end < self._hi
+                and (
+                    self._manifest["format"] == "npz"
+                    or not self._ledger.covers(k + 1)
+                )
+            ):
+                # Prefetch only when loading is genuinely expensive —
+                # first-touch digest verification, or npz
+                # decompression.  A verified .npy shard re-maps in
+                # microseconds inline; routing it through the worker
+                # thread would just add handoff latency.
+                self._prefetch(k + 1)
+            entry = self._get_shard(k)
+            limit = min(shard_end, self._hi)
+            while pos < limit:
+                end = min(pos + step, limit)
+                yield self._chunk_db(entry, k, pos, end)
+                pos = end
+
+    # -- whole-view helpers ------------------------------------------------
+
+    def probe(self) -> Database:
+        """One fabricated row reproducing each attribute's missingness.
+
+        ``ModelSpec.validate`` inspects only the schema and whether a
+        column *has* missing values, so validating this probe is
+        equivalent to validating the full materialized database —
+        without touching any shard.
+        """
+        missing_any = self._manifest["missing_any"]
+        cols: list[np.ndarray] = []
+        miss: list[np.ndarray] = []
+        for i, attr in enumerate(self.schema):
+            m = bool(missing_any[i])
+            if isinstance(attr, RealAttribute):
+                col = np.array([np.nan if m else 0.0], dtype=np.float64)
+            else:
+                col = np.array([-1 if m else 0], dtype=np.int64)
+            mask = np.array([m])
+            col.setflags(write=False)
+            mask.setflags(write=False)
+            cols.append(col)
+            miss.append(mask)
+        return Database(self.schema, tuple(cols), tuple(miss))
+
+    def materialize(self) -> Database:
+        """Load the whole view into one in-memory Database (O(N) heap)."""
+        parts: list[list[np.ndarray]] = [[] for _ in self.schema]
+        for chunk in self.iter_chunks():
+            for i in range(len(self.schema)):
+                parts[i].append(np.array(chunk.columns[i]))
+        cols: list[np.ndarray] = []
+        miss: list[np.ndarray] = []
+        for i, attr in enumerate(self.schema):
+            if parts[i]:
+                col = np.ascontiguousarray(np.concatenate(parts[i]))
+            elif isinstance(attr, RealAttribute):
+                col = np.empty(0, dtype=np.float64)
+            else:
+                col = np.empty(0, dtype=np.int64)
+            if isinstance(attr, RealAttribute):
+                m = np.isnan(col)
+            else:
+                m = col < 0
+            col.setflags(write=False)
+            m.setflags(write=False)
+            cols.append(col)
+            miss.append(m)
+        return Database(self.schema, tuple(cols), tuple(miss))
+
+    # -- pickling (the processes world ships views to forked ranks) --------
+
+    def __getstate__(self) -> dict:
+        return {
+            "path": str(self._path),
+            "lo": self._lo,
+            "hi": self._hi,
+            "chunk_items": self.chunk_items,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        fresh = ShardedDatabase.open(
+            state["path"], chunk_items=state["chunk_items"]
+        )
+        self.__dict__.update(fresh.__dict__)
+        self._lo = int(state["lo"])
+        self._hi = int(state["hi"])

@@ -21,10 +21,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.database import Database
+from repro.data.shards import is_streamable
 from repro.engine.approx import update_approximations
 from repro.engine.classification import Classification
-from repro.engine.params import update_parameters
-from repro.engine.wts import update_wts
+from repro.engine.params import finalize_parameters, update_parameters
+from repro.engine.wts import finalize_wts, update_wts
 from repro.obs import recorder as obs
 
 
@@ -51,7 +52,15 @@ def base_cycle(
     docstring), the membership weights of the E-step, and the phase
     timings.  ``kernels`` selects the E/M implementation (``None`` →
     the process default; see :mod:`repro.kernels.config`).
+
+    ``db`` may be a :class:`~repro.data.shards.ShardedDatabase` view,
+    in which case the cycle streams chunk-accumulated statistics
+    (:mod:`repro.kernels.stream`) with O(chunk) peak heap and the
+    returned weights are ``None`` (the full ``(N, J)`` matrix is never
+    formed).
     """
+    if is_streamable(db):
+        return _streamed_base_cycle(db, clf, kernels=kernels)
     rec = obs.current()
     t0 = time.perf_counter()
     with rec.phase("wts"):
@@ -72,6 +81,55 @@ def base_cycle(
     )
     new_clf = new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
     return new_clf, wts, CycleStats(
+        seconds_wts=t1 - t0,
+        seconds_params=t2 - t1,
+        seconds_approx=t3 - t2,
+    )
+
+
+def _streamed_base_cycle(
+    data, clf: Classification, *, kernels: str | None = None
+) -> tuple[Classification, None, CycleStats]:
+    """Streamed EM cycle: one chunk pass, then the unchanged finalizers.
+
+    The fused chunk pass accumulates both cut-point payloads
+    (:func:`repro.kernels.stream.streamed_local_pass`); ``finalize_wts``
+    / ``finalize_parameters`` / ``update_approximations`` then run on
+    exactly the vectors the in-memory cycle hands them.  The whole pass
+    is billed to ``seconds_wts`` (its E and M halves interleave per
+    chunk; the obs phases carry the true split).
+    """
+    from repro.kernels.stream import streamed_local_pass
+
+    rec = obs.current()
+    t0 = time.perf_counter()
+    payload, global_stats = streamed_local_pass(data, clf, kernels=kernels)
+    reduction = finalize_wts(payload, clf.n_classes)
+    t1 = time.perf_counter()
+    with rec.phase("params"):
+        log_pi, term_params = finalize_parameters(
+            clf.spec, global_stats, reduction.w_j, data.n_items
+        )
+    new_clf = Classification(
+        spec=clf.spec,
+        n_classes=clf.n_classes,
+        log_pi=log_pi,
+        term_params=term_params,
+        n_cycles=clf.n_cycles,
+    )
+    t2 = time.perf_counter()
+    with rec.phase("approx"):
+        scores = update_approximations(
+            clf, global_stats, reduction, data.n_items
+        )
+    t3 = time.perf_counter()
+    rec.cycle(
+        n_classes=clf.n_classes,
+        log_marginal=scores.log_marginal_cs,
+        w_j=reduction.w_j,
+    )
+    new_clf = new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
+    return new_clf, None, CycleStats(
         seconds_wts=t1 - t0,
         seconds_params=t2 - t1,
         seconds_approx=t3 - t2,

@@ -19,11 +19,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.database import Database
+from repro.data.shards import is_streamable
 from repro.engine.classification import Classification
 from repro.engine.params import finalize_parameters, local_update_parameters
 from repro.models.registry import ModelSpec
 
 INIT_METHODS = ("dirichlet", "sharp", "seeded")
+
+#: Init methods whose random draws consume the RNG bitstream strictly
+#: item-by-item, so drawing them chunk-by-chunk yields bitwise the
+#: same weights as one full-range draw.  ``"seeded"`` needs global
+#: pairwise distances and therefore the materialized database.
+STREAMABLE_INIT_METHODS = ("dirichlet", "sharp")
 
 
 def random_weights(
@@ -120,6 +127,53 @@ def initial_classification(
     method: str = "dirichlet",
     kernels: str | None = None,
 ) -> Classification:
-    """Random weights + first M-step, in one call."""
+    """Random weights + first M-step, in one call.
+
+    A :class:`~repro.data.shards.ShardedDatabase` view streams the
+    init: weights are drawn chunk-by-chunk (bitwise identical to one
+    full draw — see :data:`STREAMABLE_INIT_METHODS`) and consumed into
+    the packed statistics immediately, so the ``(N, J)`` weight matrix
+    is never materialized.
+    """
+    if is_streamable(db):
+        return _streamed_initial_classification(
+            db, spec, n_classes, rng, method=method, kernels=kernels
+        )
     wts = random_weights(db.n_items, n_classes, rng, method=method, db=db)
     return classification_from_weights(db, spec, wts, kernels=kernels)
+
+
+def check_streamable_init(method: str) -> None:
+    """Reject init methods that need the whole database in memory."""
+    if method not in STREAMABLE_INIT_METHODS:
+        raise ValueError(
+            f"init_method {method!r} needs the full database in memory "
+            f"and cannot stream a ShardedDatabase; use one of "
+            f"{STREAMABLE_INIT_METHODS} (or materialize() the data)"
+        )
+
+
+def _streamed_initial_classification(
+    data,
+    spec: ModelSpec,
+    n_classes: int,
+    rng: np.random.Generator,
+    method: str,
+    kernels: str | None = None,
+) -> Classification:
+    check_streamable_init(method)
+    if n_classes < 1:
+        raise ValueError(f"n_classes must be >= 1, got {n_classes}")
+    stats = np.zeros((n_classes, spec.n_stats), dtype=np.float64)
+    w_j = np.zeros(n_classes, dtype=np.float64)
+    for chunk in data.iter_chunks():
+        wts = random_weights(chunk.n_items, n_classes, rng, method=method)
+        stats += local_update_parameters(chunk, spec, wts, kernels=kernels)
+        w_j += wts.sum(axis=0)
+    log_pi, term_params = finalize_parameters(spec, stats, w_j, data.n_items)
+    return Classification(
+        spec=spec,
+        n_classes=n_classes,
+        log_pi=log_pi,
+        term_params=term_params,
+    )

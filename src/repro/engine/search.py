@@ -29,10 +29,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.database import Database
+from repro.data.shards import is_streamable
 from repro.engine.classification import Classification
 from repro.engine.convergence import ConvergenceChecker, RelativeDeltaChecker
 from repro.engine.cycle import base_cycle
-from repro.engine.init import INIT_METHODS, initial_classification
+from repro.engine.init import (
+    INIT_METHODS,
+    check_streamable_init,
+    initial_classification,
+)
 from repro.models.registry import ModelSpec
 from repro.models.summary import DataSummary
 from repro.obs import recorder as obs
@@ -254,16 +259,40 @@ def run_search(
     ``policy="per_cycle"``, after EM cycles) and restored on entry, so
     an interrupted search resumed from its checkpoint produces the
     bit-identical result an uninterrupted run would have.
+
+    ``db`` may be a :class:`~repro.data.shards.ShardedDatabase`: every
+    EM cycle then streams chunk-accumulated statistics with O(chunk)
+    peak heap (see :mod:`repro.kernels.stream`).  Streamed searches
+    need a streamable ``init_method`` (``"dirichlet"``/``"sharp"``;
+    with no explicit config the partitioned-data default ``"sharp"``
+    is used), and a bound checkpointer keys the checkpoint on the
+    shard manifest digest so a resume against different data is
+    refused.
     """
-    config = config or SearchConfig()
+    streamed = is_streamable(db)
+    if config is None:
+        # Streamed data cannot use the seeded default (it needs global
+        # distances) — same fallback run_pautoclass_partitioned uses.
+        config = SearchConfig(init_method="sharp") if streamed else SearchConfig()
+    if streamed:
+        check_streamable_init(config.init_method)
+        rec0 = obs.current()
+        if rec0.enabled:
+            rec0.count(
+                "stream.manifest_digest_u48", int(db.manifest_digest[:12], 16)
+            )
+            rec0.count("stream.chunk_items", db.chunk_items)
     if spec is None:
         spec = ModelSpec.default_for(db.schema, DataSummary.from_database(db))
-    spec.validate(db)
+    spec.validate(db.probe() if streamed else db)
     stream = SeedSequenceStream(config.seed)
     result = SearchResult(config=config)
     resume = None
     if checkpointer is not None:
-        checkpointer.bind(config, spec, db.n_items)
+        checkpointer.bind(
+            config, spec, db.n_items,
+            data_digest=db.manifest_digest if streamed else None,
+        )
         state = checkpointer.load(spec)
         if state is not None:
             result.tries.extend(state.completed_tries)

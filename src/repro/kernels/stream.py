@@ -1,0 +1,127 @@
+"""Chunk-accumulating E/M kernels for streamed (out-of-core) data.
+
+The two Allreduce cut points of P-AutoClass reduce *fixed-size*
+statistics — the ``J + 2`` wts payload and the ``(J, n_stats)`` packed
+parameter statistics — and both are additive over items.  That makes
+the E/M hot path streamable without touching either cut point: run the
+per-chunk local kernels over a :class:`repro.data.shards.
+ShardedDatabase` view, accumulate the very same payload vectors the
+in-memory path would reduce, and hand them to the unchanged
+``finalize_*`` / Allreduce machinery.
+
+One pass per EM cycle: the M-step statistics of a chunk depend only on
+that chunk's *local* weights (never on the globally reduced ``w_j``),
+so the E payload and the M statistics are accumulated together while
+the chunk is hot — halving both I/O and the dominant E-step compute
+versus two separate passes.
+
+Workspace reuse: the per-chunk kernels draw their scratch from the
+thread-local pool (:mod:`repro.kernels.workspace`) keyed by chunk
+shape, so a pass over equally-sized chunks reuses one chunk-sized
+Workspace; peak heap stays O(chunk), not O(N).
+
+Equivalence note: chunked partial sums (and the per-chunk GEMMs behind
+them) associate floating-point additions differently than one whole-
+block kernel call, so streamed payloads agree with in-memory payloads
+to the *reduction-order* tolerance (1e-9 — the same regime
+:mod:`repro.verify` assigns to any change of summation order), and
+exactly bitwise when the view fits a single chunk.  The acceptance
+invariant — asserted across all four worlds — is that a streamed fit
+reproduces the in-memory fit's final classification exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.params import local_update_parameters
+from repro.engine.wts import N_EXTRA_SLOTS, local_update_wts
+from repro.obs import recorder as obs
+
+
+def streamed_local_pass(
+    data,
+    clf,
+    *,
+    kernels: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One streaming pass: accumulate the E payload and the M statistics.
+
+    ``data`` is any chunk source with ``iter_chunks()`` (normally a
+    :class:`~repro.data.shards.ShardedDatabase` view of this rank's
+    block).  Returns ``(payload, stats)`` with the exact layouts the
+    two Allreduce cut points reduce: ``payload`` is the additive
+    ``[w_j (J), sum_log_z, sum_w_log_w]`` vector of length ``J + 2``
+    and ``stats`` the additive ``(J, n_stats)`` packed statistics.
+
+    Observability: each chunk's E half is timed under phase ``"wts"``
+    and its M half under ``"params"`` (``phase_calls`` therefore counts
+    chunks — the per-chunk phase timings), and the ``stream.chunks`` /
+    ``stream.items`` counters accumulate coverage.
+    """
+    j = clf.n_classes
+    payload = np.zeros(j + N_EXTRA_SLOTS, dtype=np.float64)
+    stats = np.zeros((j, clf.spec.n_stats), dtype=np.float64)
+    rec = obs.current()
+    n_chunks = 0
+    n_items = 0
+    for chunk in data.iter_chunks():
+        with rec.phase("wts"):
+            wts, chunk_payload = local_update_wts(chunk, clf, kernels=kernels)
+        with rec.phase("params"):
+            chunk_stats = local_update_parameters(
+                chunk, clf.spec, wts, kernels=kernels
+            )
+            payload += chunk_payload
+            stats += chunk_stats
+        n_chunks += 1
+        n_items += chunk.n_items
+    if rec.enabled and n_chunks:
+        rec.count("stream.chunks", n_chunks)
+        rec.count("stream.items", n_items)
+    return payload, stats
+
+
+def streamed_update_wts(
+    data, clf, *, kernels: str | None = None
+) -> np.ndarray:
+    """Chunk-accumulating ``update_wts`` half: the E payload only.
+
+    The payload layout equals :func:`repro.engine.wts.local_update_wts`
+    on the materialized view; the ``(n_items, J)`` weight matrix itself
+    is never formed.
+    """
+    j = clf.n_classes
+    payload = np.zeros(j + N_EXTRA_SLOTS, dtype=np.float64)
+    rec = obs.current()
+    n_chunks = 0
+    for chunk in data.iter_chunks():
+        with rec.phase("wts"):
+            _wts, chunk_payload = local_update_wts(chunk, clf, kernels=kernels)
+        payload += chunk_payload
+        n_chunks += 1
+    if rec.enabled and n_chunks:
+        rec.count("stream.chunks", n_chunks)
+    return payload
+
+
+def streamed_update_parameters(
+    data, clf, *, kernels: str | None = None
+) -> np.ndarray:
+    """Chunk-accumulating ``update_parameters`` half: the M statistics.
+
+    Recomputes each chunk's weights (statistics need them) — prefer
+    :func:`streamed_local_pass` inside a cycle, which shares the single
+    E pass between both halves.
+    """
+    j = clf.n_classes
+    stats = np.zeros((j, clf.spec.n_stats), dtype=np.float64)
+    rec = obs.current()
+    for chunk in data.iter_chunks():
+        with rec.phase("wts"):
+            wts, _payload = local_update_wts(chunk, clf, kernels=kernels)
+        with rec.phase("params"):
+            stats += local_update_parameters(
+                chunk, clf.spec, wts, kernels=kernels
+            )
+    return stats

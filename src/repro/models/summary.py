@@ -47,12 +47,27 @@ class DataSummary:
     schema: AttributeSet
 
     @staticmethod
-    def local_moments(db: Database) -> np.ndarray:
+    def local_moments(db) -> np.ndarray:
         """Additive moment vector of a (partial) database.
 
         Layout: ``[n_items, then per attribute (n_present, n_missing,
         sum, sum_sq)]``.  Sums are zero for discrete attributes.
+        Accepts a plain :class:`~repro.data.database.Database` or a
+        :class:`~repro.data.shards.ShardedDatabase` view — the vector
+        is additive over chunks, so a streamed view is summarized with
+        O(chunk) peak heap.
         """
+        from repro.data.shards import is_streamable
+
+        if is_streamable(db):
+            out = np.zeros(1 + _SLOTS * len(db.schema), dtype=np.float64)
+            for chunk in db.iter_chunks():
+                out += DataSummary._moments_of(chunk)
+            return out
+        return DataSummary._moments_of(db)
+
+    @staticmethod
+    def _moments_of(db: Database) -> np.ndarray:
         out = np.zeros(1 + _SLOTS * len(db.schema), dtype=np.float64)
         out[0] = db.n_items
         for i, attr in enumerate(db.schema):
@@ -98,8 +113,14 @@ class DataSummary:
         )
 
     @staticmethod
-    def from_database(db: Database) -> "DataSummary":
-        """Sequential path: summarize a full database directly."""
+    def from_database(db) -> "DataSummary":
+        """Sequential path: summarize a full database directly.
+
+        Accepts a plain :class:`~repro.data.database.Database` or a
+        :class:`~repro.data.shards.ShardedDatabase` view — the moment
+        vector is additive over chunks, so the streamed summary is the
+        same O(chunk)-heap pass the E/M cycle uses.
+        """
         return DataSummary.from_moments(db.schema, DataSummary.local_moments(db))
 
     def attribute(self, key: int | str) -> AttributeSummary:

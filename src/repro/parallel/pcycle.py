@@ -18,11 +18,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.database import Database
+from repro.data.shards import is_streamable
 from repro.engine.approx import update_approximations
 from repro.engine.classification import Classification
+from repro.engine.params import finalize_parameters
+from repro.engine.wts import finalize_wts
 from repro.mpc.api import Communicator
+from repro.mpc.reduceops import ReduceOp
 from repro.obs import recorder as obs
-from repro.parallel.pparams import parallel_update_parameters
+from repro.parallel.pparams import parallel_update_parameters, reduce_stats
 from repro.parallel.pwts import parallel_update_wts
 
 
@@ -58,7 +62,16 @@ def parallel_base_cycle(
     are unaffected.  ``plan`` — a
     :class:`repro.parallel.packed.ReductionPlan` for this try — makes
     both reductions run in place through preallocated buffers.
+
+    A :class:`~repro.data.shards.ShardedDatabase` block view streams
+    the local halves chunk-by-chunk with O(chunk) peak heap; the two
+    Allreduce cut points (payload layouts, order, granularity) are
+    identical, and the returned local weights are ``None``.
     """
+    if is_streamable(local_db):
+        return _streamed_parallel_cycle(
+            local_db, clf, n_total_items, comm, kernels=kernels, plan=plan
+        )
     bytes0 = comm.stats.bytes_sent
     t0 = comm.wtime()
     wts, reduction = parallel_update_wts(
@@ -83,6 +96,96 @@ def parallel_base_cycle(
     )
     new_clf = new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
     return new_clf, wts, ParallelCycleStats(
+        seconds_wts=t1 - t0,
+        seconds_params=t2 - t1,
+        seconds_approx=t3 - t2,
+        bytes_sent=comm.stats.bytes_sent - bytes0,
+    )
+
+
+def _streamed_parallel_cycle(
+    local_db,
+    clf: Classification,
+    n_total_items: int,
+    comm: Communicator,
+    *,
+    kernels: str | None = None,
+    plan=None,
+) -> tuple[Classification, None, ParallelCycleStats]:
+    """Streamed P-AutoClass cycle: chunked local halves, unchanged cut points.
+
+    One fused chunk pass accumulates this rank's ``J + 2`` wts payload
+    and ``(J, n_stats)`` packed statistics (the M half of a chunk uses
+    that chunk's *local* weights, which never depend on the reduction —
+    so fusing is exact); then the two Allreduces run with the same
+    payloads, order, and instrumentation as
+    :func:`~repro.parallel.pwts.parallel_update_wts` /
+    :func:`~repro.parallel.pparams.parallel_update_parameters`.
+    """
+    from repro.kernels.stream import streamed_local_pass
+
+    rec = obs.current()
+    bytes0 = comm.stats.bytes_sent
+    t0 = comm.wtime()
+    payload, local_stats = streamed_local_pass(local_db, clf, kernels=kernels)
+
+    def reduce_payload(p):
+        if plan is not None:
+            return plan.allreduce_wts(p)
+        return comm.allreduce(p, ReduceOp.SUM)
+
+    if rec.enabled:
+        nbytes = payload.nbytes
+        tt = rec.clock()
+        payload = reduce_payload(payload)
+        dt = rec.clock() - tt
+        rec.add_phase("allreduce_wts", dt)
+        rec.comm_event("allreduce_wts", nbytes, dt)
+    else:
+        payload = reduce_payload(payload)
+    reduction = finalize_wts(payload, clf.n_classes)
+    t1 = comm.wtime()
+    if rec.enabled:
+        nbytes = local_stats.nbytes
+        nc0 = comm.stats.n_collectives
+        tt = rec.clock()
+        global_stats = reduce_stats(
+            comm, clf.spec, local_stats, "packed", plan=plan
+        )
+        dt = rec.clock() - tt
+        rec.add_phase("allreduce_params", dt)
+        rec.comm_event(
+            "allreduce_params", nbytes, dt,
+            n_calls=max(comm.stats.n_collectives - nc0, 1),
+        )
+    else:
+        global_stats = reduce_stats(
+            comm, clf.spec, local_stats, "packed", plan=plan
+        )
+    with rec.phase("params"):
+        log_pi, term_params = finalize_parameters(
+            clf.spec, global_stats, reduction.w_j, n_total_items
+        )
+    new_clf = Classification(
+        spec=clf.spec,
+        n_classes=clf.n_classes,
+        log_pi=log_pi,
+        term_params=term_params,
+        n_cycles=clf.n_cycles,
+    )
+    t2 = comm.wtime()
+    with rec.phase("approx"):
+        scores = update_approximations(
+            clf, global_stats, reduction, n_total_items
+        )
+    t3 = comm.wtime()
+    rec.cycle(
+        n_classes=clf.n_classes,
+        log_marginal=scores.log_marginal_cs,
+        w_j=reduction.w_j,
+    )
+    new_clf = new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
+    return new_clf, None, ParallelCycleStats(
         seconds_wts=t1 - t0,
         seconds_params=t2 - t1,
         seconds_approx=t3 - t2,

@@ -31,9 +31,10 @@ from repro.data.partition import (
     block_partition_array,
     partition_bounds,
 )
+from repro.data.shards import is_streamable
 from repro.engine.classification import Classification
 from repro.engine.convergence import ConvergenceChecker
-from repro.engine.init import random_weights
+from repro.engine.init import check_streamable_init, random_weights
 from repro.engine.params import finalize_parameters, local_update_parameters
 from repro.engine.search import (
     SearchConfig,
@@ -69,7 +70,18 @@ def parallel_initial_classification(
     (one Allreduce) produces the starting parameters.  ``"seeded"``
     init computes distances against the full database and therefore
     requires ``full_db`` (available in replicated-input mode).
+
+    A :class:`~repro.data.shards.ShardedDatabase` block view streams
+    the same draw: the rank still consumes the full-range bitstream
+    (so every rank starts from the identical sequential state) but in
+    chunk-sized steps, keeping only its block's rows — O(chunk) peak
+    heap instead of the transient ``O(N x J)`` array.
     """
+    if is_streamable(local_db):
+        return _streamed_parallel_init(
+            local_db, spec, n_classes, n_total_items, rng, comm,
+            method=method, kernels=kernels,
+        )
     wts_full = random_weights(
         n_total_items, n_classes, rng, method=method, db=full_db
     )
@@ -86,6 +98,61 @@ def parallel_initial_classification(
     payload = np.asarray(comm.allreduce(payload, ReduceOp.SUM))
     w_j = payload[:n_classes]
     global_stats = payload[n_classes:].reshape(local_stats.shape)
+    log_pi, term_params = finalize_parameters(
+        spec, global_stats, w_j, n_total_items
+    )
+    return Classification(
+        spec=spec,
+        n_classes=n_classes,
+        log_pi=log_pi,
+        term_params=term_params,
+    )
+
+
+def _streamed_parallel_init(
+    local_db,
+    spec: ModelSpec,
+    n_classes: int,
+    n_total_items: int,
+    rng: np.random.Generator,
+    comm: Communicator,
+    *,
+    method: str,
+    kernels: str | None = None,
+) -> Classification:
+    """Streamed full-range random init over this rank's block view.
+
+    The streamable initializers consume the RNG bitstream strictly
+    item-by-item, so drawing (and discarding) in chunk steps replicates
+    the one-shot ``random_weights(n_total_items, ...)`` draw bitwise.
+    Rows before the block advance the stream without being kept; the
+    block's rows are consumed chunk-by-chunk straight into the packed
+    statistics; then the same concatenated ``[w_j, stats]`` Allreduce
+    as the in-memory init yields the identical starting parameters.
+    """
+    check_streamable_init(method)
+    lo, hi = local_db.bounds
+    expect = partition_bounds(n_total_items, comm.size, comm.rank)
+    if (lo, hi) != expect:
+        raise ValueError(
+            f"rank {comm.rank}: block view spans {(lo, hi)} but "
+            f"partition bounds give {expect}"
+        )
+    step = max(int(local_db.chunk_items), 1)
+    skip = lo
+    while skip > 0:
+        random_weights(min(skip, step), n_classes, rng, method=method)
+        skip -= min(skip, step)
+    stats = np.zeros((n_classes, spec.n_stats), dtype=np.float64)
+    w_j = np.zeros(n_classes, dtype=np.float64)
+    for chunk in local_db.iter_chunks():
+        wts = random_weights(chunk.n_items, n_classes, rng, method=method)
+        stats += local_update_parameters(chunk, spec, wts, kernels=kernels)
+        w_j += wts.sum(axis=0)
+    payload = np.concatenate([w_j, stats.reshape(-1)])
+    payload = np.asarray(comm.allreduce(payload, ReduceOp.SUM))
+    w_j = payload[:n_classes]
+    global_stats = payload[n_classes:].reshape(stats.shape)
     log_pi, term_params = finalize_parameters(
         spec, global_stats, w_j, n_total_items
     )
@@ -197,7 +264,11 @@ def run_parallel_search(
     :func:`run_grouped_search`).  Requires ``full_db`` (each group
     re-partitions the input over its own size).
     """
-    config = config or SearchConfig()
+    streamed = is_streamable(local_db)
+    if config is None:
+        # Streamed blocks cannot use the seeded default (it needs the
+        # full database) — same fallback run_pautoclass_partitioned uses.
+        config = SearchConfig(init_method="sharp") if streamed else SearchConfig()
     if config.max_seconds is not None:
         raise ValueError(
             "max_seconds is a wall-clock budget and would desynchronize "
@@ -206,6 +277,13 @@ def run_parallel_search(
         )
     n_groups = resolve_try_groups(try_groups, comm.size, config.max_n_tries)
     if n_groups > 1:
+        if streamed or is_streamable(full_db):
+            raise ValueError(
+                "try-parallel search (try_groups > 1) re-partitions a "
+                "replicated in-memory database per group and does not "
+                "stream a ShardedDatabase; use try_groups=1 (or "
+                "materialize() the data)"
+            )
         if full_db is None:
             raise ValueError(
                 "try-parallel search (try_groups > 1) needs the full "
@@ -216,17 +294,29 @@ def run_parallel_search(
             comm, spec, n_total_items, config, full_db, n_groups,
             kernels=kernels, checkpointer=checkpointer,
         )
+    if streamed:
+        check_streamable_init(config.init_method)
+        rec0 = obs.current()
+        if rec0.enabled:
+            rec0.count(
+                "stream.manifest_digest_u48",
+                int(local_db.manifest_digest[:12], 16),
+            )
+            rec0.count("stream.chunk_items", local_db.chunk_items)
     if config.init_method == "seeded" and full_db is None:
         raise ValueError(
             "seeded initialization needs the full database on every rank; "
             "use run_pautoclass (replicated input) or another init_method"
         )
-    spec.validate(local_db)
+    spec.validate(local_db.probe() if streamed else local_db)
     stream = SeedSequenceStream(config.seed)
     result = SearchResult(config=config)
     resume = None
     if checkpointer is not None:
-        checkpointer.bind(config, spec, n_total_items)
+        checkpointer.bind(
+            config, spec, n_total_items,
+            data_digest=local_db.manifest_digest if streamed else None,
+        )
         state = checkpointer.load(spec)
         if state is not None:
             result.tries.extend(state.completed_tries)

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.data.database import Database
+from repro.data.shards import is_streamable
 from repro.kernels import config as kernel_config
 from repro.kernels.estep import fused_compute_log_joint, fused_log_posterior
 from repro.kernels.plan import get_plan
@@ -79,7 +80,20 @@ def score_batch(
     The scratch space is this thread's pooled
     :class:`~repro.kernels.workspace.Workspace` for the batch shape;
     the returned arrays are copies, safe to hold indefinitely.
+
+    A :class:`~repro.data.shards.ShardedDatabase` view is scored
+    chunk-by-chunk — O(chunk) scratch, outputs concatenated (they are
+    O(n_items) by contract; use :func:`predict` / :func:`score_samples`
+    / :func:`score` to avoid holding the ``(n_items, n_classes)`` log
+    posterior).
     """
+    if is_streamable(db):
+        check_schema(db, clf)
+        parts = [
+            score_batch(chunk, clf, kernels=kernels)
+            for chunk in db.iter_chunks()
+        ]
+        return _concat_scores(parts, clf.n_classes)
     check_schema(db, clf)
     mode = kernel_config.resolve(kernels)
     n, j = db.n_items, clf.n_classes
@@ -108,10 +122,38 @@ def score_batch(
     )
 
 
+def _concat_scores(
+    parts: list[BatchScores], n_classes: int
+) -> BatchScores:
+    if not parts:
+        return BatchScores(
+            labels=np.empty(0, dtype=np.int64),
+            log_proba=np.empty((0, n_classes), dtype=np.float64),
+            log_evidence=np.empty(0, dtype=np.float64),
+        )
+    if len(parts) == 1:
+        return parts[0]
+    return BatchScores(
+        labels=np.concatenate([p.labels for p in parts]),
+        log_proba=np.concatenate([p.log_proba for p in parts]),
+        log_evidence=np.concatenate([p.log_evidence for p in parts]),
+    )
+
+
 def predict(
     db: Database, clf: "Classification", *, kernels: str | None = None
 ) -> np.ndarray:
-    """Hard class assignment per item, ``(n_items,)`` int64."""
+    """Hard class assignment per item, ``(n_items,)`` int64.
+
+    Streams a :class:`~repro.data.shards.ShardedDatabase` without ever
+    holding more than one chunk's ``(chunk, n_classes)`` posterior.
+    """
+    if is_streamable(db):
+        out = [
+            score_batch(chunk, clf, kernels=kernels).labels
+            for chunk in db.iter_chunks()
+        ]
+        return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
     return score_batch(db, clf, kernels=kernels).labels
 
 
@@ -134,16 +176,36 @@ def predict_proba(
 def score_samples(
     db: Database, clf: "Classification", *, kernels: str | None = None
 ) -> np.ndarray:
-    """Per-item log evidence ``log p(x_i)``, ``(n_items,)``."""
+    """Per-item log evidence ``log p(x_i)``, ``(n_items,)``.
+
+    Streams a :class:`~repro.data.shards.ShardedDatabase` chunk-by-chunk.
+    """
+    if is_streamable(db):
+        out = [
+            score_batch(chunk, clf, kernels=kernels).log_evidence
+            for chunk in db.iter_chunks()
+        ]
+        return np.concatenate(out) if out else np.empty(0, dtype=np.float64)
     return score_batch(db, clf, kernels=kernels).log_evidence
 
 
 def score(
     db: Database, clf: "Classification", *, kernels: str | None = None
 ) -> float:
-    """Mean per-item log evidence (sklearn's mixture ``score``)."""
+    """Mean per-item log evidence (sklearn's mixture ``score``).
+
+    Streamed views accumulate the sum chunk-by-chunk with O(chunk)
+    peak heap (mean agrees with the in-memory one at summation-order
+    tolerance).
+    """
     if db.n_items == 0:
         raise ValueError("cannot score an empty database")
+    if is_streamable(db):
+        total = 0.0
+        for chunk in db.iter_chunks():
+            le = score_batch(chunk, clf, kernels=kernels).log_evidence
+            total += float(le.sum())
+        return total / db.n_items
     return float(score_batch(db, clf, kernels=kernels).log_evidence.mean())
 
 

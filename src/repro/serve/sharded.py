@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.data.database import Database
 from repro.data.partition import block_partition
+from repro.data.shards import is_streamable
 from repro.mpc.api import CollectiveConfig
 from repro.mpc.procworld import run_spmd_processes
 from repro.mpc.serial import SerialComm
@@ -44,8 +45,16 @@ def sharded_score_rank(
     the allgather-of-labels protocol, extended to all three outputs.
     Blocks may be empty (more ranks than items); concatenation handles
     the zero-row arrays.
+
+    ``db`` may be a :class:`~repro.data.shards.ShardedDatabase`: each
+    rank takes a shard-backed block view (opened by path in forked
+    workers — nothing materializes the dataset) and scores it
+    chunk-by-chunk with O(chunk) scratch.
     """
-    local = block_partition(db, comm.size, comm.rank)
+    if is_streamable(db):
+        local = db.block(comm.size, comm.rank)
+    else:
+        local = block_partition(db, comm.size, comm.rank)
     mine = score_batch(local, model.classification, kernels=model.kernels)
     parts: list[BatchScores] = comm.allgather(mine)
     return BatchScores(

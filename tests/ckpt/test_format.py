@@ -207,6 +207,49 @@ class TestKey:
         other = SearchConfig(start_j_list=(2, 3), max_n_tries=2, seed=12)
         assert checkpoint_key(other, paper_spec, 1_000) != base
 
+    def test_data_digest_folds_into_key(self, paper_spec):
+        # streamed fits bind the shard manifest digest into the key, so
+        # a checkpoint can never resume against different data; the
+        # no-digest (in-memory) key is unchanged for legacy checkpoints
+        base = checkpoint_key(CONFIG, paper_spec, 1_000)
+        d1 = checkpoint_key(CONFIG, paper_spec, 1_000, data_digest="a" * 64)
+        d2 = checkpoint_key(CONFIG, paper_spec, 1_000, data_digest="b" * 64)
+        assert d1 != base and d2 != base and d1 != d2
+        assert checkpoint_key(CONFIG, paper_spec, 1_000) == base
+
+    def test_streamed_fit_checkpoints_bind_the_manifest(self, tmp_path):
+        from repro import AutoClass
+        from repro.ckpt.format import CheckpointError
+        from repro.data.shards import ShardedDatabase
+        from repro.data.synth import make_paper_database
+        from repro.models.registry import ModelSpec
+        from repro.models.summary import DataSummary
+
+        db = make_paper_database(120, seed=5)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=40
+        )
+        kw = dict(start_j_list=(2,), max_n_tries=1, seed=3, max_cycles=3,
+                  init_method="sharp")
+        ckdir = tmp_path / "ck"
+        AutoClass(**kw).fit(sdb, checkpoint="per_try", checkpoint_dir=ckdir)
+
+        spec = ModelSpec.default_for(
+            sdb.schema, DataSummary.from_database(sdb)
+        )
+        # bound to the same manifest digest: the checkpoint is visible
+        ck = Checkpointer(ckdir, policy="per_try")
+        ck.bind(SearchConfig(**kw), spec, sdb.n_items,
+                data_digest=sdb.manifest_digest)
+        state = ck.load(spec)
+        assert state is not None and state.next_try_index == 1
+        # the in-memory key of the same rows (no digest) is a
+        # different search: the streamed checkpoint is refused
+        ck2 = Checkpointer(ckdir, policy="per_try")
+        ck2.bind(SearchConfig(**kw), spec, sdb.n_items)
+        with pytest.raises(CheckpointError, match="different search"):
+            ck2.load(spec)
+
 
 class TestSpecAndPolicy:
     def test_policy_off_rejected(self, tmp_path):

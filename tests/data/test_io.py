@@ -153,6 +153,82 @@ class TestSaveLoad:
         assert hd2.exists() and db2.exists()
         assert hd2.suffix == ".hd2" and db2.suffix == ".db2"
 
+    def test_empty_database_roundtrip(self, tmp_path):
+        """Zero items is a legal database; the files still carry the schema."""
+        db = make_paper_database(5, seed=0).take(slice(0, 0))
+        assert db.n_items == 0
+        save_database(db, tmp_path / "empty")
+        back = load_database(tmp_path / "empty")
+        assert back.schema == db.schema
+        assert back.n_items == 0
+        for i in range(back.n_attributes):
+            assert back.columns[i].shape == (0,)
+            assert back.missing[i].shape == (0,)
+
+    def test_empty_mixed_schema_roundtrip(self, tmp_path):
+        db, _ = make_mixed_database(4, n_real=2, n_discrete=3, arity=5, seed=1)
+        empty = db.take(slice(0, 0))
+        save_database(empty, tmp_path / "em")
+        back = load_database(tmp_path / "em")
+        assert back.schema == db.schema
+        assert back.n_items == 0
+
+    def test_mixed_schema_roundtrip_exact(self, tmp_path):
+        """Interleaved real/discrete attributes with missing cells."""
+        schema = AttributeSet((
+            DiscreteAttribute("d0", arity=2, symbols=("no", "yes")),
+            RealAttribute("r0", error=0.05),
+            DiscreteAttribute("d1", arity=3),
+            RealAttribute("r1", error=0.5),
+        ))
+        db = Database.from_columns(
+            schema,
+            [
+                np.array([0, 1, -1, 1]),
+                np.array([1.25, np.nan, -3.5, 0.0]),
+                np.array([2, -1, 0, 1]),
+                np.array([np.nan, 7.0, 8.0, np.nan]),
+            ],
+        )
+        save_database(db, tmp_path / "mix")
+        back = load_database(tmp_path / "mix")
+        assert back.schema == schema
+        for i in range(db.n_attributes):
+            np.testing.assert_array_equal(back.missing[i], db.missing[i])
+            present = ~db.missing[i]
+            np.testing.assert_array_equal(
+                back.columns[i][present], db.columns[i][present]
+            )
+
+    def test_shard_roundtrip_from_io_files(self, tmp_path):
+        """io-loaded database shards and streams back identically."""
+        from repro.data.shards import ShardedDatabase
+
+        db, _ = make_mixed_database(75, missing_rate=0.1, seed=11)
+        save_database(db, tmp_path / "src")
+        loaded = load_database(tmp_path / "src")
+        sdb = ShardedDatabase.from_database(
+            loaded, tmp_path / "shards", shard_items=20
+        )
+        back = sdb.materialize()
+        assert back.schema == db.schema
+        for i in range(db.n_attributes):
+            np.testing.assert_array_equal(back.missing[i], db.missing[i])
+
+    def test_corrupted_shard_names_the_file(self, tmp_path):
+        """Bad shard digest -> ShardCorruptionError naming the shard file."""
+        from repro.data.shards import ShardCorruptionError, ShardedDatabase
+
+        db = make_paper_database(60, seed=12)
+        ShardedDatabase.from_database(db, tmp_path / "sh", shard_items=25)
+        victim = tmp_path / "sh" / "shard_00000.real.npy"
+        raw = bytearray(victim.read_bytes())
+        raw[-5] ^= 0x55
+        victim.write_bytes(bytes(raw))
+        sdb = ShardedDatabase.open(tmp_path / "sh")
+        with pytest.raises(ShardCorruptionError, match="shard_00000.real.npy"):
+            sdb.materialize()
+
 
 class TestPartitionedLoading:
     def test_count_data_items_skips_comments(self, tmp_path):

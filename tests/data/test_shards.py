@@ -1,0 +1,228 @@
+"""Tests for repro.data.shards (out-of-core sharded databases)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.partition import block_partition, partition_bounds
+from repro.data.shards import (
+    MANIFEST_NAME,
+    MAX_RESIDENT_SHARDS,
+    ShardCorruptionError,
+    ShardedDatabase,
+    ShardFormatError,
+    as_chunk_iterable,
+    is_streamable,
+)
+from repro.data.synth import make_mixed_database, make_paper_database
+
+
+def assert_same_rows(db, sdb_or_chunkdb, lo=0, hi=None):
+    """Column-wise equality of a Database against a sharded view/chunk."""
+    hi = db.n_items if hi is None else hi
+    other = (
+        sdb_or_chunkdb.materialize()
+        if isinstance(sdb_or_chunkdb, ShardedDatabase)
+        else sdb_or_chunkdb
+    )
+    for i in range(db.n_attributes):
+        np.testing.assert_array_equal(other.missing[i], db.missing[i][lo:hi])
+        present = ~db.missing[i][lo:hi]
+        np.testing.assert_array_equal(
+            np.asarray(other.columns[i])[present],
+            db.columns[i][lo:hi][present],
+        )
+
+
+@pytest.fixture(params=["npy", "npz"])
+def fmt(request):
+    return request.param
+
+
+class TestRoundtrip:
+    def test_materialize_reproduces_database(self, tmp_path, fmt):
+        db, _ = make_mixed_database(157, missing_rate=0.1, seed=5)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=40, fmt=fmt
+        )
+        assert sdb.schema == db.schema
+        assert sdb.n_items == db.n_items
+        assert sdb.n_shards == 4
+        assert_same_rows(db, sdb)
+
+    def test_open_matches_from_database(self, tmp_path):
+        db = make_paper_database(90, seed=2)
+        built = ShardedDatabase.from_database(db, tmp_path / "s", shard_items=32)
+        opened = ShardedDatabase.open(tmp_path / "s")
+        assert opened.manifest_digest == built.manifest_digest
+        assert opened.n_items == db.n_items
+        assert_same_rows(db, opened)
+
+    def test_empty_database_roundtrip(self, tmp_path, fmt):
+        db = make_paper_database(7, seed=0).take(slice(0, 0))
+        sdb = ShardedDatabase.from_database(db, tmp_path / "s", fmt=fmt)
+        assert sdb.n_items == 0
+        assert sdb.n_shards == 0
+        assert list(sdb.iter_chunks()) == []
+        assert sdb.materialize().n_items == 0
+
+    def test_refuses_existing_directory(self, tmp_path):
+        db = make_paper_database(10, seed=0)
+        ShardedDatabase.from_database(db, tmp_path / "s")
+        with pytest.raises(FileExistsError, match="refusing"):
+            ShardedDatabase.from_database(db, tmp_path / "s")
+
+    def test_bad_format_rejected(self, tmp_path):
+        db = make_paper_database(10, seed=0)
+        with pytest.raises(ValueError, match="fmt"):
+            ShardedDatabase.from_database(db, tmp_path / "s", fmt="hdf5")
+
+    def test_pickle_reopens_view(self, tmp_path):
+        db = make_paper_database(60, seed=3)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=25, chunk_items=10
+        )
+        view = sdb.block(3, 1)
+        back = pickle.loads(pickle.dumps(view))
+        assert back.bounds == view.bounds
+        assert back.chunk_items == 10
+        assert_same_rows(db, back, *view.bounds)
+
+
+class TestChunkIteration:
+    def test_chunks_cover_rows_in_order(self, tmp_path):
+        db = make_paper_database(101, seed=4)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=30, chunk_items=12
+        )
+        pos = 0
+        for chunk in sdb.iter_chunks():
+            assert chunk.n_items <= 12
+            assert_same_rows(db, chunk, pos, pos + chunk.n_items)
+            pos += chunk.n_items
+        assert pos == db.n_items
+
+    def test_chunks_clip_at_shard_boundaries(self, tmp_path):
+        db = make_paper_database(100, seed=4)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=30, chunk_items=100
+        )
+        sizes = [c.n_items for c in sdb.iter_chunks()]
+        assert sizes == [30, 30, 30, 10]
+
+    def test_chunk_items_override(self, tmp_path):
+        db = make_paper_database(40, seed=4)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=40, chunk_items=40
+        )
+        assert [c.n_items for c in sdb.iter_chunks(7)] == [7, 7, 7, 7, 7, 5]
+        assert sdb.with_chunk_items(9).chunk_items == 9
+
+    def test_resident_cap_holds(self, tmp_path):
+        db = make_paper_database(120, seed=6)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=20, chunk_items=20
+        )
+        for _ in sdb.iter_chunks():
+            assert len(sdb.resident_shards()) <= MAX_RESIDENT_SHARDS
+        sdb.close()
+        assert sdb.resident_shards() == ()
+
+    def test_chunk_views_are_readonly(self, tmp_path):
+        db = make_paper_database(20, seed=6)
+        sdb = ShardedDatabase.from_database(db, tmp_path / "s", shard_items=20)
+        chunk = next(sdb.iter_chunks())
+        with pytest.raises(ValueError):
+            np.asarray(chunk.columns[0])[0] = 1.0
+
+    def test_as_chunk_iterable_wraps_plain_database(self):
+        db = make_paper_database(10, seed=0)
+        chunks = list(as_chunk_iterable(db))
+        assert chunks == [db]
+        assert not is_streamable(db)
+
+
+class TestBlockViews:
+    def test_blocks_match_partition_bounds(self, tmp_path):
+        db = make_paper_database(103, seed=8)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=24, chunk_items=10
+        )
+        for n_ranks in (1, 3, 5):
+            for rank in range(n_ranks):
+                view = sdb.block(n_ranks, rank)
+                lo, hi = partition_bounds(db.n_items, n_ranks, rank)
+                assert view.bounds == (lo, hi)
+                expected = block_partition(db, n_ranks, rank)
+                assert_same_rows(db, view, lo, hi)
+                assert view.n_items == expected.n_items
+
+    def test_block_of_block_offsets(self, tmp_path):
+        db = make_paper_database(60, seed=8)
+        sdb = ShardedDatabase.from_database(db, tmp_path / "s", shard_items=16)
+        inner = sdb.block(2, 1).block(2, 1)
+        lo, hi = inner.bounds
+        assert (lo, hi) == (45, 60)
+        assert_same_rows(db, inner, lo, hi)
+
+
+class TestCorruption:
+    def test_flipped_shard_bytes_detected(self, tmp_path):
+        db = make_paper_database(50, seed=1)
+        ShardedDatabase.from_database(db, tmp_path / "s", shard_items=20)
+        victim = tmp_path / "s" / "shard_00001.real.npy"
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        sdb = ShardedDatabase.open(tmp_path / "s")
+        with pytest.raises(ShardCorruptionError, match="shard_00001.real.npy"):
+            list(sdb.iter_chunks())
+
+    def test_missing_shard_file_detected(self, tmp_path):
+        db = make_paper_database(50, seed=1)
+        ShardedDatabase.from_database(db, tmp_path / "s", shard_items=20)
+        (tmp_path / "s" / "shard_00002.disc.npy").unlink()
+        sdb = ShardedDatabase.open(tmp_path / "s")
+        with pytest.raises(ShardCorruptionError, match="shard_00002"):
+            list(sdb.iter_chunks())
+
+    def test_edited_manifest_detected(self, tmp_path):
+        db = make_paper_database(30, seed=1)
+        ShardedDatabase.from_database(db, tmp_path / "s", shard_items=30)
+        manifest = tmp_path / "s" / MANIFEST_NAME
+        manifest.write_text(manifest.read_text().replace('"n_items": 30', '"n_items": 31'))
+        with pytest.raises(ShardCorruptionError, match="manifest digest"):
+            ShardedDatabase.open(tmp_path / "s")
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ShardFormatError, match=MANIFEST_NAME):
+            ShardedDatabase.open(tmp_path)
+
+    def test_future_format_version_rejected(self, tmp_path):
+        db = make_paper_database(10, seed=1)
+        ShardedDatabase.from_database(db, tmp_path / "s")
+        manifest = tmp_path / "s" / MANIFEST_NAME
+        manifest.write_text(
+            manifest.read_text().replace('"format_version": 1', '"format_version": 99')
+        )
+        with pytest.raises(ShardFormatError, match="format_version"):
+            ShardedDatabase.open(tmp_path / "s")
+
+
+class TestProbe:
+    def test_probe_reproduces_missingness(self, tmp_path):
+        db, _ = make_mixed_database(80, missing_rate=0.2, seed=7)
+        sdb = ShardedDatabase.from_database(db, tmp_path / "s", shard_items=30)
+        probe = sdb.probe()
+        assert probe.n_items == 1
+        for i in range(db.n_attributes):
+            assert bool(probe.missing[i][0]) == bool(db.missing[i].any())
+
+    def test_probe_touches_no_shard(self, tmp_path):
+        db = make_paper_database(40, seed=7)
+        sdb = ShardedDatabase.from_database(db, tmp_path / "s", shard_items=10)
+        for f in (tmp_path / "s").glob("shard_*"):
+            f.unlink()  # only the manifest remains
+        reopened = ShardedDatabase.open(tmp_path / "s")
+        assert reopened.probe().n_items == 1
