@@ -522,14 +522,28 @@ class ShardedDatabase:
         with self._lock:
             return tuple(self._resident)
 
+    def _stop_prefetch(self) -> None:
+        """Stop the prefetch worker, joining it so no ``shard-prefetch``
+        thread outlives the call.  Pending loads are cancelled (an
+        already-running one finishes into the void — a memory-mapped
+        load is microseconds)."""
+        with self._lock:
+            self._pending.clear()
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
     def close(self) -> None:
         """Drop resident shards and stop the prefetch thread."""
         with self._lock:
             self._resident.clear()
-            self._pending.clear()
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=False)
+        self._stop_prefetch()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- chunk iteration ---------------------------------------------------
 
@@ -572,29 +586,39 @@ class ShardedDatabase:
             raise ValueError(f"chunk_items must be >= 1, got {step}")
         offsets = self._offsets
         pos = self._lo
-        while pos < self._hi:
-            k = int(np.searchsorted(offsets, pos, side="right")) - 1
-            shard_end = int(offsets[k + 1])
-            if (
-                k + 1 < self.n_shards
-                and shard_end < self._hi
-                and (
-                    self._manifest["format"] == "npz"
-                    or not self._ledger.covers(k + 1)
-                )
-            ):
-                # Prefetch only when loading is genuinely expensive —
-                # first-touch digest verification, or npz
-                # decompression.  A verified .npy shard re-maps in
-                # microseconds inline; routing it through the worker
-                # thread would just add handoff latency.
-                self._prefetch(k + 1)
-            entry = self._get_shard(k)
-            limit = min(shard_end, self._hi)
-            while pos < limit:
-                end = min(pos + step, limit)
-                yield self._chunk_db(entry, k, pos, end)
-                pos = end
+        try:
+            while pos < self._hi:
+                k = int(np.searchsorted(offsets, pos, side="right")) - 1
+                shard_end = int(offsets[k + 1])
+                if (
+                    k + 1 < self.n_shards
+                    and shard_end < self._hi
+                    and (
+                        self._manifest["format"] == "npz"
+                        or not self._ledger.covers(k + 1)
+                    )
+                ):
+                    # Prefetch only when loading is genuinely expensive
+                    # — first-touch digest verification, or npz
+                    # decompression.  A verified .npy shard re-maps in
+                    # microseconds inline; routing it through the
+                    # worker thread would just add handoff latency.
+                    self._prefetch(k + 1)
+                entry = self._get_shard(k)
+                limit = min(shard_end, self._hi)
+                while pos < limit:
+                    end = min(pos + step, limit)
+                    yield self._chunk_db(entry, k, pos, end)
+                    pos = end
+        except BaseException:
+            # An abandoned pass — a corrupt shard, a failing kernel, or
+            # the consumer dropping the generator (GeneratorExit lands
+            # here too) — must not leak the prefetch worker: join it
+            # now, while there is still someone responsible for it.
+            # A pass that runs to completion keeps the warm thread for
+            # the next E/M pass.
+            self._stop_prefetch()
+            raise
 
     # -- whole-view helpers ------------------------------------------------
 

@@ -44,6 +44,8 @@ def streamed_local_pass(
     clf,
     *,
     kernels: str | None = None,
+    on_payload=None,
+    progress=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One streaming pass: accumulate the E payload and the M statistics.
 
@@ -53,6 +55,17 @@ def streamed_local_pass(
     two Allreduce cut points reduce: ``payload`` is the additive
     ``[w_j (J), sum_log_z, sum_w_log_w]`` vector of length ``J + 2``
     and ``stats`` the additive ``(J, n_stats)`` packed statistics.
+
+    Overlap hooks (see :mod:`repro.parallel.pcycle`): ``on_payload`` is
+    called exactly once, with the *complete* payload vector, right after
+    the final chunk's E half and before its M half — the earliest point
+    the wts reduction can be launched without changing its association,
+    leaving the M half as compute to hide the first rounds behind.
+    (Detecting the final chunk costs one chunk of iterator lookahead,
+    taken only when the hook is set.)  ``progress``, if given, is called
+    after every chunk — the cooperative pump for in-flight rounds.  The
+    accumulation order, and therefore every payload bit, is identical
+    with or without the hooks.
 
     Observability: each chunk's E half is timed under phase ``"wts"``
     and its M half under ``"params"`` (``phase_calls`` therefore counts
@@ -65,17 +78,26 @@ def streamed_local_pass(
     rec = obs.current()
     n_chunks = 0
     n_items = 0
-    for chunk in data.iter_chunks():
+    peek = on_payload is not None
+    it = iter(data.iter_chunks())
+    chunk = next(it, None)
+    while chunk is not None:
+        nxt = next(it, None) if peek else None
         with rec.phase("wts"):
             wts, chunk_payload = local_update_wts(chunk, clf, kernels=kernels)
+            payload += chunk_payload
+        if peek and nxt is None:
+            on_payload(payload)
         with rec.phase("params"):
             chunk_stats = local_update_parameters(
                 chunk, clf.spec, wts, kernels=kernels
             )
-            payload += chunk_payload
             stats += chunk_stats
+        if progress is not None:
+            progress()
         n_chunks += 1
         n_items += chunk.n_items
+        chunk = nxt if peek else next(it, None)
     if rec.enabled and n_chunks:
         rec.count("stream.chunks", n_chunks)
         rec.count("stream.items", n_items)

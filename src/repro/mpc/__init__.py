@@ -29,7 +29,8 @@ from repro.mpc.api import (
     waitall,
 )
 from repro.mpc.buffers import BufferPool
-from repro.mpc.errors import MessageError, WorldAborted
+from repro.mpc.errors import MessageError, NotSupportedError, WorldAborted
+from repro.mpc.icollectives import IAllreduce, IBcast, drain
 from repro.mpc.procworld import run_spmd_processes
 from repro.mpc.serial import SerialComm
 from repro.mpc.split import SubComm
@@ -41,12 +42,16 @@ __all__ = [
     "BufferPool",
     "CollectiveConfig",
     "Communicator",
+    "IAllreduce",
+    "IBcast",
     "MessageError",
+    "NotSupportedError",
     "ReduceOp",
     "Request",
     "SerialComm",
     "SubComm",
     "WorldAborted",
+    "drain",
     "run_spmd_processes",
     "run_spmd_threads",
     "waitall",

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mpc.errors import MessageError
+from repro.mpc.errors import MessageError, NotSupportedError
 from repro.mpc.reduceops import ReduceOp
 
 #: Wildcard source for ``recv``.
@@ -97,12 +97,22 @@ class CollectiveConfig:
     safety net).  Collectives are built on receives, so this is the
     paper-world equivalent of a collective timeout: a hung peer turns
     into a clean, restartable failure instead of a wedged job.
+
+    ``segments`` splits ``"segmented"`` allreduce payloads into that
+    many contiguous pieces whose recursive-doubling rounds are
+    pipelined (bitwise-equal to the unsegmented schedule; see
+    :mod:`repro.mpc.icollectives`).  ``overlap`` switches the streamed
+    E/M hot path in :mod:`repro.parallel.pcycle` to nonblocking
+    reductions drained at the original cut points — numerically
+    identical, but communication rounds hide behind compute.
     """
 
     allreduce: str = "recursive_doubling"
     bcast: str = "binomial"
     barrier: str = "dissemination"
     timeout_seconds: float | None = None
+    segments: int = 1
+    overlap: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
@@ -110,6 +120,8 @@ class CollectiveConfig:
                 f"timeout_seconds must be positive or None, got "
                 f"{self.timeout_seconds}"
             )
+        if self.segments < 1:
+            raise ValueError(f"segments must be >= 1, got {self.segments}")
 
 
 class Communicator(ABC):
@@ -218,10 +230,13 @@ class Communicator(ABC):
     def _try_recv(self, source: int, tag: int):
         """Non-blocking matching attempt; returns the payload or None.
 
-        Backends with pollable inboxes override this; the default makes
-        Request.test() unavailable (wait() always works).
+        Backends with pollable inboxes override this (all four shipped
+        worlds do); the default makes Request.test() unavailable
+        (wait() always works).  Raises
+        :class:`~repro.mpc.errors.NotSupportedError` — a capability
+        gap, never a messaging fault.
         """
-        raise MessageError(
+        raise NotSupportedError(
             f"{type(self).__name__} does not support nonblocking test(); "
             "use wait()"
         )
@@ -337,6 +352,52 @@ class Communicator(ABC):
         self._charge_reduction(buf)
         return buf
 
+    def iallreduce(
+        self,
+        payload,
+        op: ReduceOp = ReduceOp.SUM,
+        *,
+        segments: int | None = None,
+    ) -> "Request":
+        """Nonblocking Allreduce; returns a request handle.
+
+        The handle's ``wait()`` returns the reduced payload —
+        bitwise-identical to :meth:`allreduce`, because the
+        recursive-doubling message schedule and combine orientation are
+        replayed exactly (see :mod:`repro.mpc.icollectives`).  Between
+        launch and drain the caller may compute; ``progress()`` and
+        ``test()`` advance in-flight rounds cooperatively without
+        blocking.  ``segments`` (default: the config's) pipelines the
+        rounds of that many contiguous payload pieces.
+
+        Configured algorithms other than ``recursive_doubling`` /
+        ``"segmented"`` have no nonblocking schedule; they complete
+        eagerly (correct, but without overlap).
+        """
+        from repro.mpc import icollectives
+
+        if self._collectives.allreduce not in ("recursive_doubling", "segmented"):
+            return CompletedRequest(self.allreduce(payload, op))
+        segs = self._collectives.segments if segments is None else segments
+        if segs < 1:
+            raise MessageError(f"segments must be >= 1, got {segs}")
+        tag = self._next_coll_tag()
+        return icollectives.IAllreduce(self, payload, op, tag, segments=segs)
+
+    def ibcast(self, obj: object, root: int = 0) -> "Request":
+        """Nonblocking broadcast; ``wait()`` returns the value on every rank.
+
+        Only the ``binomial`` tree has a nonblocking schedule; other
+        configured algorithms complete eagerly.
+        """
+        from repro.mpc import icollectives
+
+        self._check_peer(root)
+        if self._collectives.bcast != "binomial":
+            return CompletedRequest(self.bcast(obj, root))
+        tag = self._next_coll_tag()
+        return icollectives.IBcast(self, obj, root, tag)
+
     def buffer_pool(self):
         """This communicator's lazily created reduction buffer pool.
 
@@ -430,6 +491,16 @@ class Request:
 
     def test(self) -> tuple[bool, object]:
         raise NotImplementedError
+
+    def progress(self) -> bool:
+        """Advance the operation without blocking; True when complete.
+
+        For point-to-point requests this is ``test()`` minus the
+        payload; nonblocking collectives override it to drive their
+        in-flight rounds one step per call.
+        """
+        done, _ = self.test()
+        return done
 
 
 class CompletedRequest(Request):

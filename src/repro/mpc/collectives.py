@@ -290,10 +290,32 @@ def allreduce_ring(comm, payload, op: ReduceOp, tag: int):
     return out.item() if out.ndim == 0 else out
 
 
+def allreduce_segmented(comm, payload, op: ReduceOp, tag: int):
+    """Segmented/pipelined recursive doubling.
+
+    Splits the payload into ``comm.collective_config.segments``
+    contiguous pieces and pipelines their recursive-doubling rounds (see
+    :mod:`repro.mpc.icollectives`).  Reductions are elementwise, so the
+    per-segment association equals the whole-payload association
+    restricted to each element: results are **bitwise-equal** to
+    ``recursive_doubling`` — this variant changes the message schedule,
+    never the arithmetic.
+    """
+    from repro.mpc.icollectives import IAllreduce
+
+    # The caller (Communicator.allreduce) prices the reduction once at
+    # the end, like every blocking variant — no per-combine charges.
+    return IAllreduce(
+        comm, payload, op, tag,
+        segments=comm.collective_config.segments, charge_combines=False,
+    ).wait()
+
+
 _ALLREDUCES = {
     "recursive_doubling": allreduce_recursive_doubling,
     "ring": allreduce_ring,
     "reduce_bcast": allreduce_reduce_bcast,
+    "segmented": allreduce_segmented,
 }
 
 
@@ -305,7 +327,14 @@ def run_allreduce(comm, payload, op: ReduceOp, tag: int, algorithm: str):
             f"unknown allreduce algorithm {algorithm!r}; "
             f"choose from {sorted(_ALLREDUCES)}"
         ) from None
-    return impl(comm, payload, op, tag)
+    out = impl(comm, payload, op, tag)
+    if isinstance(payload, np.ndarray) and not isinstance(out, np.ndarray):
+        # ufuncs collapse 0-d arrays to numpy scalars, so the tree
+        # variants would hand back np.float64 where ring/segmented hand
+        # back a 0-d ndarray; mirror the input container so the return
+        # type is algorithm-independent.
+        out = np.asarray(out).reshape(payload.shape)
+    return out
 
 
 # ---------------------------------------------------------------------------

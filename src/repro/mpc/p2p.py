@@ -124,12 +124,24 @@ class Mailbox:
                     )
                 self._cond.wait(timeout=_WAKE_INTERVAL)
 
-    def try_collect(self, source: int, tag: int) -> Envelope | None:
-        """Non-blocking variant of :meth:`collect`."""
+    def try_collect(
+        self, source: int, tag: int, ready_by: float | None = None
+    ) -> Envelope | None:
+        """Non-blocking variant of :meth:`collect`.
+
+        ``ready_by`` (virtual-time worlds) withholds envelopes whose
+        ``available_at`` lies in the caller's future.  The check applies
+        to the envelope that *matching* selects: if the non-overtaking
+        winner is still in flight, the result is None even when a later
+        envelope would qualify — skipping past it would reorder a
+        sender's messages.
+        """
         with self._cond:
             self._abort.check()
             idx = self._match_index(source, tag)
             if idx is None:
+                return None
+            if ready_by is not None and self._messages[idx].available_at > ready_by:
                 return None
             self._order.pop(idx)
             return self._messages.pop(idx)

@@ -123,6 +123,38 @@ class ProcessComm(Communicator):
                     ) from None
                 self._stash[conn_to_rank[conn]].append((msg_tag, obj, seq))
 
+    def _try_recv(self, source: int, tag: int):
+        """Pollable inbox: drain ready pipes, then match without blocking."""
+        if source == self.rank:
+            raise MessageError("process world does not support self-receives")
+        hit = self._try_match(source, tag)
+        if hit is None:
+            self._check_abort()
+            watch = (
+                list(self._links.values())
+                if source == ANY_SOURCE
+                else [self._links[source]]
+            )
+            conn_to_rank = {conn: peer for peer, conn in self._links.items()}
+            for conn in conn_wait(watch, timeout=0):
+                try:
+                    msg_tag, obj, seq = conn.recv()
+                except (EOFError, OSError):
+                    self._check_abort()
+                    raise WorldAborted(
+                        conn_to_rank[conn], "peer pipe closed (process died)"
+                    ) from None
+                self._stash[conn_to_rank[conn]].append((msg_tag, obj, seq))
+            hit = self._try_match(source, tag)
+        if hit is None:
+            return None
+        obj, _src, _msg_tag = hit
+        from repro.mpc.api import payload_nbytes
+
+        self.stats.n_recvs += 1
+        self.stats.bytes_received += payload_nbytes(obj)
+        return obj
+
 
 def _worker_main(
     rank: int,

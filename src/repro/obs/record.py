@@ -89,6 +89,8 @@ class CommEventRecord:
     seconds: float  # time spent in the collective (rank's clock)
     n_calls: int = 1  # >1 when a cut point issues several collectives
     # (the per_term_class reduction granularity)
+    overlapped: bool = False  # nonblocking launch; `seconds` is the
+    # residual drain only (rounds hidden behind compute are not in it)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -96,6 +98,7 @@ class CommEventRecord:
             "nbytes": self.nbytes,
             "seconds": self.seconds,
             "n_calls": self.n_calls,
+            "overlapped": self.overlapped,
         }
 
     @classmethod
@@ -105,6 +108,7 @@ class CommEventRecord:
             nbytes=int(d["nbytes"]),
             seconds=float(d["seconds"]),
             n_calls=int(d.get("n_calls", 1)),
+            overlapped=bool(d.get("overlapped", False)),
         )
 
 

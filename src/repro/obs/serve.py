@@ -33,6 +33,7 @@ class ServeMetrics:
         self.n_errors = 0         # requests fulfilled with an error
         self.n_rejected = 0       # backpressure rejections (never queued)
         self.n_timeouts = 0       # result() deadlines that expired
+        self.n_cancelled = 0      # timed-out requests dropped before scoring
         self.n_batches = 0
         self.n_items = 0          # items scored across all batches
         self.batch_hist: dict[int, int] = {}   # batch size (items) -> count
@@ -63,6 +64,13 @@ class ServeMetrics:
     def on_timeout(self) -> None:
         with self._lock:
             self.n_timeouts += 1
+
+    def on_cancel(self) -> None:
+        """A timed-out request removed from the queue before a worker
+        took it — its kernel pass was saved."""
+        with self._lock:
+            self.n_cancelled += 1
+            self.queue_depth -= 1
 
     def on_orphan(self, n_requests: int) -> None:
         """Requests dropped from the queue by a non-draining close."""
@@ -118,6 +126,7 @@ class ServeMetrics:
             "n_errors": self.n_errors,
             "n_rejected": self.n_rejected,
             "n_timeouts": self.n_timeouts,
+            "n_cancelled": self.n_cancelled,
             "n_batches": self.n_batches,
             "n_items": self.n_items,
             "queue_depth": self.queue_depth,
@@ -135,8 +144,9 @@ class ServeMetrics:
         rows = [
             ("requests", f"{snap['n_submitted']}"),
             ("completed / errors", f"{snap['n_completed']} / {snap['n_errors']}"),
-            ("rejected / timeouts",
-             f"{snap['n_rejected']} / {snap['n_timeouts']}"),
+            ("rejected / timeouts / cancelled",
+             f"{snap['n_rejected']} / {snap['n_timeouts']} / "
+             f"{snap['n_cancelled']}"),
             ("batches (items)", f"{snap['n_batches']} ({snap['n_items']})"),
             ("mean batch items", f"{snap['mean_batch_items']:.1f}"),
             ("queue depth peak", f"{snap['queue_depth_peak']}"),

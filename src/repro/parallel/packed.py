@@ -62,3 +62,24 @@ class ReductionPlan:
         self.comm.allreduce_into(self.stats_buf, ReduceOp.SUM)
         self.n_stats_reductions += 1
         return self.stats_buf
+
+    # -- nonblocking variants (compute/comm overlap) -----------------------
+    #
+    # These cannot run out of the plan buffers: the pool's two-call
+    # parity that makes in-place reuse race-free assumes the next
+    # collective's blocking receives fence every peer's reads, and a
+    # nonblocking handle deliberately breaks that fence (peers may hold
+    # round envelopes across the whole overlapped compute window).
+    # IAllreduce therefore sends a private copy of the payload — one
+    # allocation per cycle, bought back many times over by the hidden
+    # communication.
+
+    def iallreduce_wts(self, payload: np.ndarray):
+        """Launch the E-payload reduction; returns the request handle."""
+        self.n_wts_reductions += 1
+        return self.comm.iallreduce(payload, ReduceOp.SUM)
+
+    def iallreduce_stats(self, local_stats: np.ndarray):
+        """Launch the packed-statistics reduction; returns the handle."""
+        self.n_stats_reductions += 1
+        return self.comm.iallreduce(local_stats, ReduceOp.SUM)

@@ -124,6 +124,10 @@ def _streamed_parallel_cycle(
     """
     from repro.kernels.stream import streamed_local_pass
 
+    if comm.collective_config.overlap and comm.size > 1:
+        return _overlapped_streamed_cycle(
+            local_db, clf, n_total_items, comm, kernels=kernels, plan=plan
+        )
     rec = obs.current()
     bytes0 = comm.stats.bytes_sent
     t0 = comm.wtime()
@@ -162,6 +166,132 @@ def _streamed_parallel_cycle(
         global_stats = reduce_stats(
             comm, clf.spec, local_stats, "packed", plan=plan
         )
+    with rec.phase("params"):
+        log_pi, term_params = finalize_parameters(
+            clf.spec, global_stats, reduction.w_j, n_total_items
+        )
+    new_clf = Classification(
+        spec=clf.spec,
+        n_classes=clf.n_classes,
+        log_pi=log_pi,
+        term_params=term_params,
+        n_cycles=clf.n_cycles,
+    )
+    t2 = comm.wtime()
+    with rec.phase("approx"):
+        scores = update_approximations(
+            clf, global_stats, reduction, n_total_items
+        )
+    t3 = comm.wtime()
+    rec.cycle(
+        n_classes=clf.n_classes,
+        log_marginal=scores.log_marginal_cs,
+        w_j=reduction.w_j,
+    )
+    new_clf = new_clf.with_scores(scores, n_cycles=clf.n_cycles + 1)
+    return new_clf, None, ParallelCycleStats(
+        seconds_wts=t1 - t0,
+        seconds_params=t2 - t1,
+        seconds_approx=t3 - t2,
+        bytes_sent=comm.stats.bytes_sent - bytes0,
+    )
+
+
+def _overlapped_streamed_cycle(
+    local_db,
+    clf: Classification,
+    n_total_items: int,
+    comm: Communicator,
+    *,
+    kernels: str | None = None,
+    plan=None,
+) -> tuple[Classification, None, ParallelCycleStats]:
+    """Streamed cycle with nonblocking reductions hidden behind compute.
+
+    Same chunk pass, same payloads, same cut points as
+    :func:`_streamed_parallel_cycle` — only the *when* of the rounds
+    changes, so results are bitwise-identical to the blocking path:
+
+    1. the wts reduction launches right after the final chunk's E half
+       (the earliest its payload is complete) and its first rounds ride
+       under that chunk's M half;
+    2. the stats reduction launches as soon as the pass ends, and the
+       two in-flight reductions drain **round-robin** at the original
+       cut points, so each one's wire time hides behind the other's
+       rounds instead of serializing.
+
+    Instrumentation: the ``allreduce_wts`` / ``allreduce_params`` phases
+    time only the *residual* drain (what overlap failed to hide); their
+    comm events carry ``overlapped=True``, and the ``overlap.windows`` /
+    ``overlap.hidden_us`` / ``overlap.idle_us`` counters quantify the
+    windows (see docs/comms.md).
+    """
+    from repro.kernels.stream import streamed_local_pass
+    from repro.mpc.icollectives import ICollective
+
+    rec = obs.current()
+    bytes0 = comm.stats.bytes_sent
+    t0 = comm.wtime()
+    inflight: dict = {}
+
+    def launch_wts(payload):
+        inflight["t_wts_launch"] = comm.wtime()
+        if plan is not None:
+            inflight["wts"] = plan.iallreduce_wts(payload)
+        else:
+            inflight["wts"] = comm.iallreduce(payload, ReduceOp.SUM)
+
+    def pump():
+        req = inflight.get("wts")
+        if req is not None:
+            req.progress()
+
+    payload, local_stats = streamed_local_pass(
+        local_db, clf, kernels=kernels, on_payload=launch_wts, progress=pump
+    )
+    if "wts" not in inflight:  # empty local block: zero chunks streamed
+        launch_wts(payload)
+    wts_req = inflight["wts"]
+    t_stats_launch = comm.wtime()
+    if plan is not None:
+        stats_req = plan.iallreduce_stats(local_stats)
+    else:
+        stats_req = comm.iallreduce(local_stats, ReduceOp.SUM)
+
+    def live(req):
+        return isinstance(req, ICollective) and not req.done
+
+    t_drain0 = comm.wtime()
+    t_wts_done = None if live(wts_req) else t_drain0
+    while live(wts_req) or live(stats_req):
+        if live(wts_req):
+            wts_req.step()
+            if not live(wts_req):
+                t_wts_done = comm.wtime()
+        if live(stats_req):
+            stats_req.step()
+    t_drain_end = comm.wtime()
+    reduced_payload = wts_req.wait()
+    global_stats = np.asarray(stats_req.wait())
+    if rec.enabled:
+        rec.add_phase("allreduce_wts", t_wts_done - t_drain0)
+        rec.comm_event(
+            "allreduce_wts", payload.nbytes, t_wts_done - t_drain0,
+            overlapped=True,
+        )
+        rec.add_phase("allreduce_params", t_drain_end - t_wts_done)
+        rec.comm_event(
+            "allreduce_params", local_stats.nbytes, t_drain_end - t_wts_done,
+            overlapped=True,
+        )
+        rec.count("overlap.windows", 2)
+        hidden = (t_drain0 - inflight["t_wts_launch"]) + (
+            t_drain0 - t_stats_launch
+        )
+        rec.count("overlap.hidden_us", int(hidden * 1e6))
+        rec.count("overlap.idle_us", int((t_drain_end - t_drain0) * 1e6))
+    reduction = finalize_wts(reduced_payload, clf.n_classes)
+    t1 = comm.wtime()
     with rec.phase("params"):
         log_pi, term_params = finalize_parameters(
             clf.spec, global_stats, reduction.w_j, n_total_items

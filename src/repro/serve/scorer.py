@@ -100,7 +100,7 @@ class ScorerConfig:
 
 
 class _Request:
-    __slots__ = ("db", "event", "scores", "error", "submitted_at")
+    __slots__ = ("db", "event", "scores", "error", "submitted_at", "cancelled")
 
     def __init__(self, db: Database, submitted_at: float) -> None:
         self.db = db
@@ -108,6 +108,7 @@ class _Request:
         self.scores: BatchScores | None = None
         self.error: BaseException | None = None
         self.submitted_at = submitted_at
+        self.cancelled = False
 
 
 class PendingResult:
@@ -134,9 +135,18 @@ class PendingResult:
             timeout = self._scorer.config.default_timeout_s
         if not self._req.event.wait(timeout):
             self._scorer.metrics.on_timeout()
+            # Pull the request back out of the queue so no worker burns
+            # a kernel pass on a result nobody will read.  If a worker
+            # already took it into a batch, it finishes normally (a
+            # later result() call on this handle can still collect it).
+            cancelled = self._scorer._cancel(self._req)
+            state = (
+                "cancelled while queued" if cancelled
+                else "batch already in flight"
+            )
             raise RequestTimeout(
-                f"request not scored within {timeout:g}s "
-                f"(queue depth {self._scorer.metrics.queue_depth})"
+                f"request not scored within {timeout:g}s ({state}; "
+                f"queue depth {self._scorer.metrics.queue_depth})"
             )
         if self._req.error is not None:
             raise self._req.error
@@ -280,6 +290,28 @@ class Scorer:
             self._not_empty.notify()
         self.metrics.on_submit()
         return PendingResult(req, self)
+
+    def _cancel(self, req: _Request) -> bool:
+        """Drop a timed-out request that is still queued.
+
+        Returns True when it was removed before a worker took it; False
+        when it is already in flight (or just completed), in which case
+        the batch proceeds untouched.
+        """
+        with self._not_full:
+            try:
+                self._queue.remove(req)
+            except ValueError:
+                return False
+            self._queued_items -= req.db.n_items
+            req.cancelled = True
+            self._not_full.notify_all()
+        # Settle the handle so later result() calls fail fast instead
+        # of re-arming the deadline on a request that can never run.
+        req.error = RequestTimeout("request cancelled after its deadline")
+        req.event.set()
+        self.metrics.on_cancel()
+        return True
 
     def _scored(
         self, db: Database, timeout: float | None, retries: int

@@ -142,19 +142,39 @@ class SimComm(ThreadComm):
         self._mark = time.thread_time()
 
     def _try_recv(self, source: int, tag: int):
-        """Nonblocking test() is undefined on a virtual clock.
+        """Poll *at the current virtual time*: match only arrived messages.
 
-        "Has the message arrived?" depends on *when* in virtual time the
-        question is asked, but host-side polling has no virtual duration
-        — any answer would be arbitrary.  ``Request.wait()`` (a normal
-        priced receive) works as usual.
+        "Has the message arrived?" is answered at this rank's own clock:
+        an envelope matches only if its ``available_at`` is not in the
+        future (``ready_by``), so a test() right after a send correctly
+        reports "not yet" until compute has advanced the clock past the
+        wire time.  This is what lets overlapped windows cost
+        ``max(compute, comm)``: a hit after enough compute charges only
+        the receive overhead, never the already-elapsed wire time.
         """
-        from repro.mpc.errors import MessageError
-
-        raise MessageError(
-            "Request.test() is not meaningful on the virtual-time world; "
-            "use Request.wait()"
+        self._absorb_compute()
+        env = self._mailboxes[self.rank].try_collect(
+            source, tag, ready_by=self.clock
         )
+        if env is None:
+            self._reset_mark()  # host-side polling has no virtual duration
+            return None
+        arrived = self.clock + self.machine.recv_overhead
+        if self.tracer is not None:
+            from repro.simnet.trace import TraceEvent
+
+            self.tracer.record(
+                TraceEvent(
+                    self.rank, "wait", self.clock, arrived,
+                    peer=env.source, tag=env.tag, nbytes=env.nbytes,
+                )
+            )
+        self.comm_seconds += arrived - self.clock
+        self.clock = arrived
+        self.stats.n_recvs += 1
+        self.stats.bytes_received += env.nbytes
+        self._reset_mark()
+        return env.payload
 
     # -- priced point-to-point ----------------------------------------------
 

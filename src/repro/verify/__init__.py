@@ -19,6 +19,10 @@ Three layers:
 * :mod:`repro.verify.harness` — the differential matrix over the
   golden corpus, regenerable via ``python -m repro.verify --regen``.
 
+:mod:`repro.verify.overlap` extends the same strict gate to the
+nonblocking hot path: an overlapped streamed fit must be bitwise
+(digest-) equal to its blocking twin on every world.
+
 ``AutoClass.fit`` / ``PAutoClass.fit`` accept ``verify="off" | "trace"
 | "strict"`` to run a shadow reference fit and attach (or enforce) a
 conformance report on every user-level run.
@@ -41,6 +45,11 @@ from repro.verify.harness import (
     run_case_matrix,
     run_full_matrix,
     write_golden,
+)
+from repro.verify.overlap import (
+    capture_streamed_trace,
+    check_overlap_conformance,
+    content_digest,
 )
 from repro.verify.tolerance import (
     BITWISE,
@@ -68,8 +77,11 @@ __all__ = [
     "RunTrace",
     "Tolerance",
     "TraceMeta",
+    "capture_streamed_trace",
     "capture_trace",
+    "check_overlap_conformance",
     "compare_traces",
+    "content_digest",
     "corpus_case",
     "load_golden",
     "probe_allreduce_compatible",

@@ -1,10 +1,12 @@
 """Tests for repro.data.shards (out-of-core sharded databases)."""
 
 import pickle
+import threading
 
 import numpy as np
 import pytest
 
+from repro.api import AutoClass
 from repro.data.partition import block_partition, partition_bounds
 from repro.data.shards import (
     MANIFEST_NAME,
@@ -208,6 +210,65 @@ class TestCorruption:
         )
         with pytest.raises(ShardFormatError, match="format_version"):
             ShardedDatabase.open(tmp_path / "s")
+
+
+def _prefetch_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name.startswith("shard-prefetch")
+    ]
+
+
+class TestPrefetchLifecycle:
+    def test_failing_fit_leaves_no_prefetch_threads(self, tmp_path):
+        """Regression: a fit that dies mid-stream (here: a corrupt
+        second shard discovered during first-touch verification) used
+        to leave the ``shard-prefetch`` worker alive forever."""
+        db = make_paper_database(120, seed=3)
+        ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=24, chunk_items=12
+        )
+        victim = tmp_path / "s" / "shard_00002.real.npy"
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        sdb = ShardedDatabase.open(tmp_path / "s")
+        with pytest.raises(ShardCorruptionError):
+            AutoClass(
+                start_j_list=(2,), max_n_tries=1, seed=0, max_cycles=2
+            ).fit(sdb)
+        assert _prefetch_threads() == []
+
+    def test_abandoned_iteration_stops_prefetch_thread(self, tmp_path):
+        db = make_paper_database(120, seed=3)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=24, chunk_items=12, fmt="npz"
+        )
+        it = sdb.iter_chunks()
+        next(it)  # shard 0 resident, shard 1 prefetching
+        it.close()  # consumer walks away mid-pass
+        assert _prefetch_threads() == []
+
+    def test_completed_pass_keeps_worker_until_close(self, tmp_path):
+        # npz shards route every load through the worker, so a full
+        # pass leaves a warm (idle) thread for the next pass; close()
+        # must join it.
+        db = make_paper_database(120, seed=3)
+        sdb = ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=24, chunk_items=12, fmt="npz"
+        )
+        list(sdb.iter_chunks())
+        sdb.close()
+        assert _prefetch_threads() == []
+
+    def test_context_manager_closes(self, tmp_path):
+        db = make_paper_database(60, seed=3)
+        with ShardedDatabase.from_database(
+            db, tmp_path / "s", shard_items=12, fmt="npz"
+        ) as sdb:
+            list(sdb.iter_chunks())
+        assert sdb.resident_shards() == ()
+        assert _prefetch_threads() == []
 
 
 class TestProbe:

@@ -1,0 +1,30 @@
+"""Hang watchdog for the message-passing suites.
+
+A deadlocked collective — a rank waiting on a message that will never
+arrive — hangs the whole pytest process, and CI then shows a timeout
+with no traceback.  ``pytest-timeout`` is not a dependency of this
+repo, so the watchdog is stdlib ``faulthandler``: every test arms a
+timer that dumps *all* thread stacks (the SPMD worker threads are the
+interesting ones) and hard-exits if the test is still running when it
+fires.  Normal tests disarm it on the way out and never notice.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+
+import pytest
+
+#: Generous per-test budget: the slowest hypothesis sweeps here finish
+#: in a few seconds; only a genuine deadlock reaches two minutes.
+WATCHDOG_SECONDS = float(os.environ.get("REPRO_TEST_WATCHDOG_S", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog():
+    faulthandler.dump_traceback_later(WATCHDOG_SECONDS, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

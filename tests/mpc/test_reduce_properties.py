@@ -14,7 +14,11 @@ than examples:
   must be bitwise order-independent even on arbitrary floats.
 
 Plus the edge cases the engine actually hits: empty payloads (a rank
-with zero stats slots), single-rank worlds, and scalar payloads.
+with zero stats slots), single-rank worlds, and scalar payloads — and
+the shapes the chunked variants are most likely to get wrong: payloads
+with fewer elements than ranks (ring/segmented circulate *empty*
+chunks) and 0-d ndarrays (which hit the ``reshape``/``item()`` tail and
+which ufuncs silently collapse to numpy scalars).
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from repro.mpc.api import CollectiveConfig
 from repro.mpc.reduceops import ReduceOp, combine, identity_like
 from repro.mpc.threadworld import run_spmd_threads
 
-ALGOS = ("recursive_doubling", "ring", "reduce_bcast")
+ALGOS = ("recursive_doubling", "ring", "reduce_bcast", "segmented")
 
 finite_payload = hnp.arrays(
     dtype=np.float64,
@@ -37,15 +41,21 @@ finite_payload = hnp.arrays(
 )
 
 
+def _collectives(algo) -> CollectiveConfig:
+    # segments=3 so "segmented" actually pipelines (segments=1 would
+    # collapse it to plain recursive doubling), including on payloads
+    # with fewer elements than segments.
+    segments = 3 if algo == "segmented" else 1
+    return CollectiveConfig(allreduce=algo, segments=segments)
+
+
 def _allreduce_all(algo, size, payloads, op=ReduceOp.SUM):
     """Run one allreduce over fixed per-rank payloads; return all ranks."""
 
     def prog(comm):
         return np.asarray(comm.allreduce(payloads[comm.rank], op))
 
-    return run_spmd_threads(
-        prog, size, collectives=CollectiveConfig(allreduce=algo)
-    )
+    return run_spmd_threads(prog, size, collectives=_collectives(algo))
 
 
 class TestCombineProperties:
@@ -151,6 +161,85 @@ class TestEdgeCases:
                 return comm.allreduce(float(comm.rank + 1), ReduceOp.SUM)
 
             results = run_spmd_threads(
-                prog, 4, collectives=CollectiveConfig(allreduce=algo)
+                prog, 4, collectives=_collectives(algo)
             )
             assert results == [10.0] * 4
+
+
+class TestEdgeShapes:
+    """Shapes the chunked variants are most likely to get wrong.
+
+    ``ring`` and ``segmented`` split the flattened payload into P (resp.
+    ``segments``) chunks with ``np.linspace`` bounds, so payloads with
+    fewer elements than chunks circulate *empty* arrays, and 0-d
+    payloads exercise the ``reshape(arr.shape)`` / ``item()`` tail.
+    """
+
+    @given(
+        size=st.integers(2, 6),
+        n=st.integers(0, 4),
+        algo=st.sampled_from(ALGOS),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fewer_elements_than_ranks(self, size, n, algo, seed):
+        """n_elems <= P: exact integer payloads still sum bitwise and
+        keep their shape, even when every circulating chunk is empty."""
+        rng = np.random.default_rng(seed)
+        payloads = rng.integers(-1000, 1000, size=(size, n)).astype(
+            np.float64
+        )
+        results = _allreduce_all(algo, size, payloads)
+        for r in results:
+            assert r.shape == (n,)
+            np.testing.assert_array_equal(r, payloads.sum(axis=0))
+
+    def test_multidim_fewer_elements_than_ranks(self):
+        for algo in ALGOS:
+            for size in (3, 5):
+                payloads = [
+                    np.arange(2.0).reshape(1, 2) + r for r in range(size)
+                ]
+                for r in _allreduce_all(algo, size, payloads):
+                    assert r.shape == (1, 2)
+                    np.testing.assert_array_equal(
+                        r, np.sum(payloads, axis=0)
+                    )
+
+    def test_zero_element_multidim_keeps_shape(self):
+        for algo in ALGOS:
+            for size in (2, 4):
+                payloads = [np.zeros((0, 3)) for _ in range(size)]
+                for r in _allreduce_all(algo, size, payloads):
+                    assert r.shape == (0, 3)
+
+    def test_0d_ndarray_stays_ndarray_every_algorithm(self):
+        """Regression: ufuncs collapse 0-d arrays to numpy scalars, so
+        the tree variants used to return ``np.float64`` where
+        ring/segmented returned a 0-d ndarray.  An ndarray in must be an
+        ndarray out, identically across algorithms."""
+        for algo in ALGOS:
+            def prog(comm):
+                return comm.allreduce(
+                    np.array(comm.rank + 1.5), ReduceOp.SUM
+                )
+
+            for size in (1, 3, 4):
+                for r in run_spmd_threads(
+                    prog, size, collectives=_collectives(algo)
+                ):
+                    assert isinstance(r, np.ndarray), (algo, size, r)
+                    assert r.shape == ()
+                    assert r == sum(k + 1.5 for k in range(size))
+
+    def test_numpy_scalar_payload(self):
+        """np.float64 is *not* an ndarray: scalar in, scalar out."""
+        for algo in ALGOS:
+            def prog(comm):
+                return comm.allreduce(np.float64(comm.rank), ReduceOp.MAX)
+
+            for r in run_spmd_threads(
+                prog, 3, collectives=_collectives(algo)
+            ):
+                assert not isinstance(r, np.ndarray)
+                assert float(r) == 2.0

@@ -112,17 +112,46 @@ class TestBackpressure:
 
 
 class TestDeadlines:
-    def test_result_timeout_raises(self, model, train_db):
+    def test_result_timeout_cancels_queued_request(self, model, train_db):
         scorer = Scorer(model, start=False)  # nothing will score it
         pending = scorer.submit(train_db.take(slice(0, 2)))
-        with pytest.raises(RequestTimeout, match="not scored within"):
+        with pytest.raises(RequestTimeout, match="cancelled while queued"):
             pending.result(timeout=0.05)
         assert scorer.metrics.n_timeouts == 1
-        assert not pending.done
-        # The request is still queued; starting the pool completes it.
+        assert scorer.metrics.n_cancelled == 1
+        assert scorer.metrics.queue_depth == 0
+        # The handle is settled: later waits fail fast, they do not
+        # re-arm a deadline on a request that can never run.
+        assert pending.done
+        with pytest.raises(RequestTimeout, match="cancelled after"):
+            pending.result(timeout=5.0)
+        # Workers never see the cancelled request: a fresh request
+        # completes while the batch counter shows exactly one pass.
         scorer.start()
-        assert pending.result(timeout=5.0).n_items == 2
+        assert scorer.predict(train_db.take(slice(0, 3))).shape == (3,)
         scorer.close()
+        assert scorer.metrics.n_batches == 1
+
+    def test_inflight_request_is_not_cancelled(self, model, train_db):
+        # A worker takes the request before the deadline expires; the
+        # timeout must report in-flight and leave the batch untouched,
+        # and the handle can still collect the late result.
+        faults = FaultInjector(
+            [FaultSpec(rank=0, action="delay", site="batch", at_cycle=0,
+                       seconds=0.3)]
+        )
+        with Scorer(model, faults=faults) as scorer:
+            pending = scorer.submit(train_db.take(slice(0, 2)))
+            deadline = time.perf_counter() + 5.0
+            while (
+                scorer.metrics.n_batches == 0
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.005)  # until a worker has taken the batch
+            with pytest.raises(RequestTimeout, match="already in flight"):
+                pending.result(timeout=0.05)
+            assert scorer.metrics.n_cancelled == 0
+            assert pending.result(timeout=5.0).n_items == 2
 
     def test_retries_exhaust_then_raise(self, model, train_db):
         scorer = Scorer(model, start=False)
@@ -131,6 +160,7 @@ class TestDeadlines:
                 train_db.take(slice(0, 1)), timeout=0.02, retries=2
             )
         assert scorer.metrics.n_timeouts == 3  # 1 try + 2 retries
+        assert scorer.metrics.n_cancelled == 3  # each attempt cleaned up
         scorer.close(drain=False)
 
 
