@@ -1,0 +1,108 @@
+"""BENCH-SHM — shared-memory vs pipe transport, processes world.
+
+Times repeated ``allreduce_into`` rounds over large float64 buffers in
+a real 2-process world on both wires.  This is the transport the shm
+rings were built for: the paper's ``update_wts`` /
+``update_parameters`` reductions are exactly repeated large-payload
+allreduces, and the pipe arm pays pickling plus two kernel copies per
+hop where the shm arm pays one ``memcpy`` each way plus a token.
+
+Protocol: per payload size, each rank times ``REPEATS`` allreduce
+rounds after a warmup and a barrier; the world's cost is the slowest
+rank; each arm takes the best of ``TRIALS`` worlds to damp scheduler
+noise (this host has one core, so both ranks time-share it — the
+*ratio* is what transfers).
+
+Bars:
+
+1. **Speedup** — shm must beat pipe by at least ``SPEEDUP_BAR`` (2x)
+   at every payload size >= 1 MiB.
+2. **Equality** — both arms must produce the bit-identical reduction
+   result (the transport moves bytes, never changes them).
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.mpc.procworld import run_spmd_processes
+
+P = 2
+#: Payload sizes in MiB of float64s (all below the 8 MiB ring default).
+SIZES_MIB = (1, 4)
+REPEATS = 20
+TRIALS = 3
+SPEEDUP_BAR = 2.0
+
+
+def _allreduce_prog(comm, n_elems, repeats):
+    buf = np.arange(n_elems, dtype=np.float64) + comm.rank
+    comm.allreduce_into(buf)  # warmup: pools, rings, pipes all touched
+    comm.barrier()
+    t0 = time.perf_counter()
+    for i in range(repeats):
+        work = np.arange(n_elems, dtype=np.float64) * 0 + (comm.rank + i)
+        comm.allreduce_into(work)
+    elapsed = time.perf_counter() - t0
+    return elapsed, float(work.sum())
+
+
+def _run_arm(transport: str, n_elems: int) -> tuple[float, float]:
+    best = float("inf")
+    checksum = None
+    for _ in range(TRIALS):
+        results = run_spmd_processes(
+            _allreduce_prog, P, n_elems, REPEATS,
+            transport=transport, timeout=300,
+        )
+        world_s = max(r[0] for r in results)
+        sums = {r[1] for r in results}
+        assert len(sums) == 1, f"ranks disagree: {sums}"
+        checksum = sums.pop()
+        best = min(best, world_s)
+    return best, checksum
+
+
+def test_shm_bench_json():
+    payloads = {}
+    for mib in SIZES_MIB:
+        n_elems = mib * (1 << 20) // 8
+        nbytes = n_elems * 8
+        arm = {}
+        for transport in ("pipe", "shm"):
+            seconds, checksum = _run_arm(transport, n_elems)
+            arm[transport] = {
+                "seconds": seconds,
+                "rounds_per_s": REPEATS / seconds,
+                "mb_per_s": REPEATS * nbytes / seconds / 1e6,
+                "checksum": checksum,
+            }
+        # Equality: the wire must not change a bit of the reduction.
+        assert arm["shm"]["checksum"] == arm["pipe"]["checksum"], arm
+        arm["speedup"] = arm["pipe"]["seconds"] / arm["shm"]["seconds"]
+        payloads[f"mib{mib}"] = arm
+
+    report = {
+        "benchmark": (
+            "BENCH-SHM allreduce_into throughput, processes world, "
+            "shm rings vs pickled pipes"
+        ),
+        "platform": platform.platform(),
+        "workload": (
+            f"P={P}, float64 payloads {SIZES_MIB} MiB, {REPEATS} "
+            f"allreduce rounds per trial, best of {TRIALS} trials, "
+            "slowest-rank timing"
+        ),
+        **payloads,
+        "bars": {"speedup_min": SPEEDUP_BAR},
+    }
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    payload = json.dumps(report, indent=2) + "\n"
+    (out_dir / "BENCH_shm.json").write_text(payload, encoding="utf-8")
+    print(payload)
+    for name, arm in payloads.items():
+        assert arm["speedup"] >= SPEEDUP_BAR, (name, report)

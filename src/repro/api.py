@@ -55,7 +55,7 @@ from repro.models.registry import ModelSpec
 from repro.models.summary import DataSummary
 from repro.mpc.api import CollectiveConfig
 from repro.mpc.faults import FaultInjector
-from repro.mpc.procworld import run_spmd_processes
+from repro.mpc.procworld import TRANSPORTS, run_spmd_processes
 from repro.mpc.serial import SerialComm
 from repro.mpc.threadworld import run_spmd_threads
 from repro.obs.record import CommEventRecord, RunRecord
@@ -231,6 +231,9 @@ class FitConfig:
     #: Two-level search groups: None | ``"auto"`` | int.
     try_groups: int | str | None = None
     collectives: CollectiveConfig | None = None
+    #: Processes-world wire: None (backend default, shm) | ``"shm"`` |
+    #: ``"pipe"``.  Only the ``"processes"`` backend has a wire to pick.
+    transport: str | None = None
 
     def __post_init__(self) -> None:
         check_instrument(self.instrument)
@@ -247,6 +250,10 @@ class FitConfig:
                 f"max_restarts must be >= 0: {self.max_restarts}"
             )
         _check_try_groups(self.try_groups)
+        if self.transport is not None and self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport {self.transport!r} not in {TRANSPORTS}"
+            )
 
     def merged(self, **overrides) -> "FitConfig":
         """A copy with the non-:data:`_UNSET` overrides applied."""
@@ -292,10 +299,20 @@ def _fit_options(base: FitConfig, options: FitConfig | None, **bare) -> FitConfi
     return base.merged(**bare)
 
 
+def _check_transport(transport: str | None, backend: str) -> None:
+    """``transport`` picks the processes world's wire; other worlds
+    have no wire to pick, so setting it there is a config error."""
+    if transport is not None and backend != "processes":
+        raise ValueError(
+            f"transport={transport!r} only applies to the 'processes' "
+            f"backend (got backend={backend!r})"
+        )
+
+
 def _check_sequential(opts: FitConfig) -> None:
     """Reject parallel-only options on the sequential class."""
     bad = [
-        k for k in ("try_groups", "collectives", "faults")
+        k for k in ("try_groups", "collectives", "faults", "transport")
         if getattr(opts, k) is not None
     ]
     if bad:
@@ -584,6 +601,7 @@ def _processes_backend(
         ckpt=model._ckpt_spec,
         faults=model._faults,
         try_groups=model.try_groups,
+        transport=model.transport or "shm",
     )
     return _assemble_run(model, "processes", pairs)
 
@@ -869,6 +887,7 @@ class PAutoClass:
         kernels: str | None = _UNSET,
         trace: bool | None = None,
         try_groups: int | str | None = _UNSET,
+        transport: str | None = _UNSET,
         *,
         options: FitConfig | None = None,
         **config,
@@ -892,9 +911,11 @@ class PAutoClass:
             instrument=instrument,
             kernels=kernels,
             try_groups=try_groups,
+            transport=transport,
             collectives=collectives if collectives is not None else _UNSET,
         )
         _check_try_groups(self.options.try_groups, n_processors)
+        _check_transport(self.options.transport, backend)
         self.n_processors = n_processors
         self.backend = backend
         self.spec = spec
@@ -926,6 +947,10 @@ class PAutoClass:
     @property
     def collectives(self) -> CollectiveConfig | None:
         return (self._active_options or self.options).collectives
+
+    @property
+    def transport(self) -> str | None:
+        return (self._active_options or self.options).transport
 
     def fit(
         self,
@@ -971,6 +996,7 @@ class PAutoClass:
             verify=verify,
         )
         _check_try_groups(opts.try_groups, self.n_processors)
+        _check_transport(opts.transport, self.backend)
         config = _streamed_fallback_config(
             self.config, db, self._init_method_defaulted
         )

@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
              "only; see docs/parallel_search.md)",
     )
     p_run.add_argument(
+        "--transport", choices=("shm", "pipe"), default=None,
+        help="processes-backend wire: shared-memory rings (shm, the "
+             "default) or pickled pipes (pipe); see "
+             "docs/message_passing.md#transports",
+    )
+    p_run.add_argument(
         "--model-search", action="store_true",
         help="also search over model forms (independent vs correlated "
              "real attributes); sequential backend only",
@@ -211,6 +217,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit("--save-model does not apply to --model-search")
     if args.checkpoint != "off" and args.checkpoint_dir is None:
         raise SystemExit(f"--checkpoint {args.checkpoint} needs --checkpoint-dir")
+    if args.transport is not None and args.backend != "processes":
+        raise SystemExit("--transport needs --backend processes")
     if args.backend == "sequential":
         if args.try_groups is not None:
             raise SystemExit("--try-groups needs a parallel --backend")
@@ -249,7 +257,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         procs = 1 if args.backend == "serial" else args.procs
         pac = PAutoClass(
             n_processors=procs, backend=args.backend, instrument=instrument,
-            try_groups=args.try_groups,
+            try_groups=args.try_groups, transport=args.transport,
             **config,
         )
         run = pac.fit(db, **fit_options)

@@ -62,20 +62,23 @@ class CommStats:
     bytes_received: int = 0
     n_collectives: int = 0
     seconds_in_comm: float = 0.0
+    # Per-transport send accounting (the processes world splits its
+    # traffic between shared-memory rings and pickled pipes; every
+    # other world leaves these at zero).
+    n_shm_msgs: int = 0
+    shm_bytes: int = 0
+    n_pipe_msgs: int = 0
+    pipe_bytes: int = 0
 
     def snapshot(self) -> "CommStats":
         return CommStats(**vars(self))
 
     def delta(self, earlier: "CommStats") -> "CommStats":
         """Stats accumulated since ``earlier`` (a prior snapshot)."""
-        return CommStats(
-            n_sends=self.n_sends - earlier.n_sends,
-            n_recvs=self.n_recvs - earlier.n_recvs,
-            bytes_sent=self.bytes_sent - earlier.bytes_sent,
-            bytes_received=self.bytes_received - earlier.bytes_received,
-            n_collectives=self.n_collectives - earlier.n_collectives,
-            seconds_in_comm=self.seconds_in_comm - earlier.seconds_in_comm,
-        )
+        return CommStats(**{
+            name: value - vars(earlier)[name]
+            for name, value in vars(self).items()
+        })
 
 
 @dataclass(frozen=True)
@@ -213,6 +216,22 @@ class Communicator(ABC):
         self.stats.n_recvs += 1
         self.stats.bytes_received += nbytes
         return obj, src, tg
+
+    def recv_into(
+        self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> np.ndarray:
+        """Receive the next matching message into ``buf`` (in place).
+
+        Semantically ``recv`` + copy — same matching, ordering and
+        statistics — but backends with a zero-copy path (the processes
+        world's shared-memory rings) override it to land the payload
+        bytes directly in ``buf``.  The payload's element count must
+        equal ``buf``'s; dtype mismatches cast as ``np.copyto`` would.
+        Returns ``buf``.
+        """
+        obj = self.recv(source, tag)
+        np.copyto(buf.reshape(-1), np.asarray(obj).reshape(-1))
+        return buf
 
     def isend(self, obj: object, dest: int, tag: int = 0) -> "Request":
         """Nonblocking send.  Sends are buffered, so the returned

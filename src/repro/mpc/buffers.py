@@ -132,10 +132,9 @@ def allreduce_into_impl(comm, buf: np.ndarray, op: ReduceOp, tag: int) -> None:
             comm.send(acc, rank - 1, tag)
             in_core, core_rank = False, -1
         else:
-            other = comm.recv(rank + 1, tag)
             inc = scratch[si]
             si += 1
-            np.copyto(inc, np.asarray(other).reshape(-1))
+            comm.recv_into(inc, rank + 1, tag)
             out = chain[ci]
             ci += 1
             ufunc(acc, inc, out=out)  # lower world rank on the left
@@ -153,10 +152,9 @@ def allreduce_into_impl(comm, buf: np.ndarray, op: ReduceOp, tag: int) -> None:
             partner = core_rank ^ (1 << k)
             pw = core_to_world(partner)
             comm.send(acc, pw, tag + 1 + k)
-            other = comm.recv(pw, tag + 1 + k)
             inc = scratch[si]
             si += 1
-            np.copyto(inc, np.asarray(other).reshape(-1))
+            comm.recv_into(inc, pw, tag + 1 + k)
             out = chain[ci]
             ci += 1
             if core_rank < partner:
@@ -169,5 +167,4 @@ def allreduce_into_impl(comm, buf: np.ndarray, op: ReduceOp, tag: int) -> None:
             comm.send(acc, 2 * core_rank + 1, tag + 63)
         np.copyto(flat, acc)
     else:
-        other = comm.recv(rank - 1, tag + 63)
-        np.copyto(flat, np.asarray(other).reshape(-1))
+        comm.recv_into(flat, rank - 1, tag + 63)

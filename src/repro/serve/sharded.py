@@ -71,11 +71,14 @@ def sharded_score_batch(
     backend: str = "threads",
     n_processors: int = 4,
     collectives: CollectiveConfig | None = None,
+    transport: str = "shm",
 ) -> BatchScores:
     """Score ``db`` data-parallel over ``n_processors`` ranks.
 
-    Returns rank 0's (complete) :class:`BatchScores`; all ranks hold
-    the same arrays by construction.
+    ``transport`` picks the processes world's wire ("shm" | "pipe");
+    the other backends ignore it.  Returns rank 0's (complete)
+    :class:`BatchScores`; all ranks hold the same arrays by
+    construction.
     """
     if backend not in SHARD_BACKENDS:
         raise ValueError(f"backend {backend!r} not in {SHARD_BACKENDS}")
@@ -94,7 +97,7 @@ def sharded_score_batch(
     if backend == "processes":
         results = run_spmd_processes(
             sharded_score_rank, n_processors, model, db,
-            collectives=collectives,
+            collectives=collectives, transport=transport,
         )
         return results[0]
     # "sim": score on the virtual CS-2 (lazy import — simnet is heavy).
@@ -115,9 +118,10 @@ def sharded_predict(
     backend: str = "threads",
     n_processors: int = 4,
     collectives: CollectiveConfig | None = None,
+    transport: str = "shm",
 ) -> np.ndarray:
     """Hard labels for ``db``, computed data-parallel (see module doc)."""
     return sharded_score_batch(
         model, db, backend=backend, n_processors=n_processors,
-        collectives=collectives,
+        collectives=collectives, transport=transport,
     ).labels

@@ -64,10 +64,13 @@ class CorpusCase:
         ("processes", (2,)),
         ("sim", (2, 3)),
     )
-    #: Subset used by ``--quick`` (CI smoke / pre-commit).
+    #: Subset used by ``--quick`` (CI smoke / pre-commit).  The
+    #: processes cell rides along so the default shm transport gets a
+    #: bitwise conformance check on every smoke run.
     quick_worlds: tuple[tuple[str, tuple[int, ...]], ...] = (
         ("serial", (1,)),
         ("threads", (2, 3)),
+        ("processes", (2,)),
     )
 
 
